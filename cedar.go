@@ -1,0 +1,284 @@
+// Package cedar is a simulation-backed reproduction of the Cedar
+// multiprocessor described in "The Cedar System and an Initial
+// Performance Study" (Kuck et al., ISCA 1993).
+//
+// Cedar was a cluster-based shared-memory multiprocessor: four modified
+// Alliant FX/8 clusters (eight computational elements each, with a shared
+// four-way interleaved cache and a concurrency control bus) connected by
+// two unidirectional multistage shuffle-exchange networks to a globally
+// shared memory whose modules carry synchronization processors, with a
+// per-CE data prefetch unit masking the global latency.
+//
+// This package is the public face of the library. It exposes:
+//
+//   - the machine model (NewMachine, Params, Options) — a deterministic
+//     cycle-level simulator of the whole system;
+//   - the CEDAR FORTRAN runtime abstractions (NewRuntime with XDoall,
+//     SDoall, CDoall and Serial phases) for writing workloads;
+//   - the paper's kernels (RankUpdate, VectorLoad, TriMat, CG);
+//   - the Perfect Benchmarks® proxy suite (PerfectCodes, RunPerfect);
+//   - the Practical Parallelism Test methodology (Speedup, Efficiency,
+//     Instability, band classification);
+//   - and the experiment harness that regenerates every table and figure
+//     of the paper's evaluation (RunTable1 ... RunPPT4).
+//
+// A minimal program:
+//
+//	m := cedar.NewMachine(cedar.DefaultParams(), cedar.Options{})
+//	res, err := cedar.RankUpdate(m, 256, cedar.RKPref)
+//	fmt.Printf("%.1f MFLOPS\n", res.MFLOPS)
+package cedar
+
+import (
+	"cedar/internal/ce"
+	"cedar/internal/cfrt"
+	"cedar/internal/core"
+	"cedar/internal/kernels"
+	"cedar/internal/params"
+	"cedar/internal/perfect"
+	"cedar/internal/ppt"
+	"cedar/internal/tables"
+	"cedar/internal/xylem"
+)
+
+// Machine is a configured Cedar system: clusters of CEs, networks, global
+// memory, and allocators for placing workload data.
+type Machine = core.Machine
+
+// Params is the machine parameter set; DefaultParams returns Cedar as
+// built (4 clusters × 8 CEs at 170 ns).
+type Params = params.Machine
+
+// Options selects construction variants (network type, queue depth).
+type Options = core.Options
+
+// Fabric kinds for Options.
+const (
+	FabricOmega    = core.FabricOmega
+	FabricCrossbar = core.FabricCrossbar
+)
+
+// DefaultParams returns the Cedar machine as built.
+func DefaultParams() Params { return params.Default() }
+
+// ScaledParams returns a Cedar-like machine scaled to the given cluster
+// count (the PPT5 probe).
+func ScaledParams(clusters int) Params { return params.Scaled(clusters) }
+
+// NewMachine builds a machine, panicking on invalid parameters; use
+// core-level construction via NewMachineErr to handle errors.
+func NewMachine(p Params, opt Options) *Machine { return core.MustNew(p, opt) }
+
+// NewMachineErr builds a machine, returning configuration errors.
+func NewMachineErr(p Params, opt Options) (*Machine, error) { return core.New(p, opt) }
+
+// Result is an aggregate timing result.
+type Result = core.Result
+
+// Instruction-level workload types (for writing custom programs).
+type (
+	// Instr is one CE instruction.
+	Instr = ce.Instr
+	// Stream is a vector memory operand.
+	Stream = ce.Stream
+)
+
+// Instruction opcodes and spaces.
+const (
+	OpScalar      = ce.OpScalar
+	OpVector      = ce.OpVector
+	OpGlobalLoad  = ce.OpGlobalLoad
+	OpGlobalStore = ce.OpGlobalStore
+	OpSync        = ce.OpSync
+	OpFence       = ce.OpFence
+
+	SpaceNone    = ce.SpaceNone
+	SpaceGlobal  = ce.SpaceGlobal
+	SpaceCluster = ce.SpaceCluster
+)
+
+// Runtime types: the CEDAR FORTRAN loop-scheduling layer.
+type (
+	// Runtime executes a phase program on a machine.
+	Runtime = cfrt.Runtime
+	// RuntimeConfig selects library options (Cedar sync, cluster count).
+	RuntimeConfig = cfrt.Config
+	// Phase is one machine-wide step.
+	Phase = cfrt.Phase
+	// Serial runs on CE 0.
+	Serial = cfrt.Serial
+	// XDoall spreads iterations across the whole machine.
+	XDoall = cfrt.XDoall
+	// SDoall schedules iterations on whole clusters.
+	SDoall = cfrt.SDoall
+	// CDoall spreads iterations across one cluster via the concurrency
+	// control bus.
+	CDoall = cfrt.CDoall
+	// ClusterSerial runs on a cluster's master CE.
+	ClusterSerial = cfrt.ClusterSerial
+)
+
+// NewRuntime builds a runtime over a machine for the given phases.
+func NewRuntime(m *Machine, cfg RuntimeConfig, phases ...Phase) *Runtime {
+	return cfrt.New(m, cfg, phases...)
+}
+
+// Kernels of the §4.1 memory study.
+type (
+	// KernelResult is a kernel run plus the monitored prefetch traffic.
+	KernelResult = kernels.Result
+	// RKMode selects the rank-update memory variant.
+	RKMode = kernels.RKMode
+	// CGConfig configures the conjugate gradient kernel.
+	CGConfig = kernels.CGConfig
+	// BandedConfig configures the banded matrix-vector kernel.
+	BandedConfig = kernels.BandedConfig
+	// MemBWPoint is one memory-characterization measurement.
+	MemBWPoint = kernels.MemBWPoint
+)
+
+// Rank-update variants (Table 1).
+const (
+	RKNoPref = kernels.RKNoPref
+	RKPref   = kernels.RKPref
+	RKCache  = kernels.RKCache
+)
+
+// RankUpdate computes a rank-64 update to an n×n matrix (Table 1).
+func RankUpdate(m *Machine, n int, mode RKMode) (KernelResult, error) {
+	return kernels.RankUpdate(m, n, mode)
+}
+
+// VectorLoad streams words from global memory (the VL kernel of Table 2).
+func VectorLoad(m *Machine, n, sweeps int) (KernelResult, error) {
+	return kernels.VectorLoad(m, n, sweeps)
+}
+
+// TriMat computes a tridiagonal matrix-vector product (TM).
+func TriMat(m *Machine, n int) (KernelResult, error) { return kernels.TriMat(m, n) }
+
+// CG runs the 5-diagonal conjugate gradient solver of the PPT4 study.
+func CG(m *Machine, cfg CGConfig) (KernelResult, error) { return kernels.CG(m, cfg) }
+
+// Banded computes the banded matrix-vector product of the PPT4 CM-5
+// comparison on the simulated Cedar.
+func Banded(m *Machine, cfg BandedConfig) (KernelResult, error) { return kernels.Banded(m, cfg) }
+
+// MemBW measures delivered global-memory bandwidth for a CE count and
+// stride — the [GJTV91] characterization.
+func MemBW(m *Machine, nCE int, stride int64, wordsPerCE int) (MemBWPoint, error) {
+	return kernels.MemBW(m, nCE, stride, wordsPerCE)
+}
+
+// Perfect Benchmark proxies.
+type (
+	// PerfectProfile describes one Perfect code.
+	PerfectProfile = perfect.Profile
+	// PerfectSpec selects a variant and the Table 3 ablations.
+	PerfectSpec = perfect.Spec
+	// PerfectOutcome is one measured, full-scale-scaled run.
+	PerfectOutcome = perfect.Outcome
+)
+
+// Perfect variants.
+const (
+	PerfectSerial = perfect.Serial
+	PerfectKAP    = perfect.KAP
+	PerfectAuto   = perfect.Auto
+	PerfectHand   = perfect.Hand
+)
+
+// PerfectCodes returns the thirteen-code suite.
+func PerfectCodes() []PerfectProfile { return perfect.All() }
+
+// RunPerfect executes one Perfect code variant on a fresh machine.
+func RunPerfect(p Params, code PerfectProfile, spec PerfectSpec) (PerfectOutcome, error) {
+	return perfect.Run(p, code, spec)
+}
+
+// Methodology: the Practical Parallelism Tests of §4.3.
+type Band = ppt.Band
+
+// Performance bands.
+const (
+	BandHigh         = ppt.High
+	BandIntermediate = ppt.Intermediate
+	BandUnacceptable = ppt.Unacceptable
+)
+
+// Speedup is serial time over parallel time.
+func Speedup(serial, parallel float64) float64 { return ppt.Speedup(serial, parallel) }
+
+// Efficiency is speedup per processor.
+func Efficiency(speedup float64, p int) float64 { return ppt.Efficiency(speedup, p) }
+
+// BandOf classifies a speedup on P processors against the P/2 and
+// P/(2·log₂P) thresholds.
+func BandOf(speedup float64, p int) Band { return ppt.BandOfSpeedup(speedup, p) }
+
+// Instability computes In(K, e): max/min performance after excluding the
+// e most extreme outliers.
+func Instability(perf []float64, e int) float64 { return ppt.Instability(perf, e) }
+
+// Experiment harness: every table and figure of the evaluation.
+type (
+	// Table1Result is the rank-64 update memory study.
+	Table1Result = tables.Table1Result
+	// Table2Result is the latency/interarrival study.
+	Table2Result = tables.Table2Result
+	// SuiteResult holds all Perfect variant outcomes.
+	SuiteResult = tables.SuiteResult
+	// PPT4Result is the scalability study.
+	PPT4Result = tables.PPT4Result
+)
+
+// RunTable1 regenerates Table 1 for matrices of order n.
+func RunTable1(n int) (*Table1Result, error) { return tables.RunTable1(n) }
+
+// RunTable2 regenerates Table 2.
+func RunTable2() (*Table2Result, error) { return tables.RunTable2() }
+
+// RunPerfectSuite runs every variant of the suite (pass nil for all 13
+// codes); feed the result to BuildTable3..BuildFigure3.
+var RunPerfectSuite = tables.RunSuite
+
+// Derived tables over a suite run.
+var (
+	BuildTable3  = tables.BuildTable3
+	BuildTable4  = tables.BuildTable4
+	BuildTable5  = tables.BuildTable5
+	BuildTable6  = tables.BuildTable6
+	BuildFigure3 = tables.BuildFigure3
+)
+
+// RunPPT4 regenerates the CG-vs-CM-5 scalability study.
+func RunPPT4(full bool) (*PPT4Result, error) { return tables.RunPPT4(full) }
+
+// Multiprogramming: the Xylem OS behaviour the paper's single-user runs
+// avoided.
+type TimeSharer = xylem.TimeSharer
+
+// NewTimeSharer gang-schedules several programs onto one machine with the
+// given quantum (cycles), paying Xylem's cluster-task switch cost.
+func NewTimeSharer(p Params, quantum int64, tasks ...Controller) *TimeSharer {
+	return xylem.NewTimeSharer(p, xylem.DefaultTasks(), quantum, tasks...)
+}
+
+// Controller feeds instructions to CEs; Runtime and TimeSharer implement it.
+type Controller = ce.Controller
+
+// FixedWork builds a uniform scalar workload for every CE — a background
+// task for multiprogramming studies.
+func FixedWork(instrs int, cycles int64) Controller {
+	return xylem.NewFixedWork(instrs, cycles)
+}
+
+// RunOverheads measures the §3.2 runtime library costs.
+var RunOverheads = tables.RunOverheads
+
+// RunMemBW runs the [GJTV91] memory characterization sweep.
+var RunMemBW = tables.RunMemBW
+
+// RunSchedulingAblation compares static, self- and guided loop
+// scheduling with and without Cedar synchronization.
+var RunSchedulingAblation = tables.RunSchedulingAblation

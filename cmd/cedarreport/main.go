@@ -1,0 +1,65 @@
+// Command cedarreport regenerates the paper's complete evaluation —
+// every table, figure, microbenchmark and ablation — as one markdown
+// report on stdout. It is the one-command version of running cedarsim,
+// perfect and judge back to back (expect several minutes at defaults).
+//
+// Usage:
+//
+//	cedarreport > report.md
+//	cedarreport -n 512 -full           # closer to paper-scale problems
+//	cedarreport -codes ARC2D,QCD,SPICE # fast Perfect subset
+//	cedarreport -kernels-only
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"strings"
+
+	"cedar/internal/perfect"
+	"cedar/internal/tables"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cedarreport: ")
+	var (
+		n        = flag.Int("n", 256, "rank-64 update order (paper: 1K)")
+		full     = flag.Bool("full", false, "use the paper's largest CG sizes")
+		codes    = flag.String("codes", "", "comma-separated Perfect subset (default all 13)")
+		kernOnly = flag.Bool("kernels-only", false, "skip the Perfect suite and methodology")
+		quiet    = flag.Bool("q", false, "suppress progress lines")
+	)
+	flag.Parse()
+
+	cfg := tables.ReportConfig{
+		RankN:    *n,
+		FullPPT4: *full,
+		Progress: os.Stderr,
+	}
+	if *quiet {
+		cfg.Progress = nil
+	}
+	if *kernOnly {
+		cfg.SkipPerfect = true
+		cfg.SkipMethodology = true
+	}
+	if *codes != "" {
+		want := map[string]bool{}
+		for _, c := range strings.Split(*codes, ",") {
+			want[strings.ToUpper(strings.TrimSpace(c))] = true
+		}
+		for _, p := range perfect.All() {
+			if want[p.Name] {
+				cfg.Codes = append(cfg.Codes, p)
+			}
+		}
+		if len(cfg.Codes) == 0 {
+			log.Fatalf("no codes match %q", *codes)
+		}
+	}
+	if err := tables.WriteReport(os.Stdout, cfg); err != nil {
+		log.Fatal(err)
+	}
+}

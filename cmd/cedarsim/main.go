@@ -1,0 +1,131 @@
+// Command cedarsim regenerates the kernel-level experiments of the paper:
+// Table 1 (rank-64 update memory study), Table 2 (global memory latency
+// and interarrival), the §3.2 runtime overheads, and the design ablations
+// (network type and queue depth, prefetch block size, scaled-up Cedar).
+//
+// Usage:
+//
+//	cedarsim -table 1 [-n 512]
+//	cedarsim -table 2 [-small]
+//	cedarsim -overheads
+//	cedarsim -ablation net|pref|sched [-n 256]
+//	cedarsim -scaled [-n 256]
+//	cedarsim -membw
+//	cedarsim -all
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"cedar/internal/tables"
+)
+
+// emit prints either the formatted table or its JSON representation.
+func emit(asJSON bool, v interface{}, format func() string) {
+	if !asJSON {
+		fmt.Println(format())
+		return
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cedarsim: ")
+	var (
+		table     = flag.Int("table", 0, "regenerate table 1 or 2")
+		n         = flag.Int("n", 256, "matrix order for the rank-64 update (paper: 1K)")
+		small     = flag.Bool("small", false, "reduced problem sizes for table 2")
+		overheads = flag.Bool("overheads", false, "measure runtime library overheads")
+		ablation  = flag.String("ablation", "", "run an ablation: net, pref, or sched")
+		scaled    = flag.Bool("scaled", false, "run the scaled-Cedar PPT5 probe")
+		membw     = flag.Bool("membw", false, "run the [GJTV91] memory characterization sweep")
+		asJSON    = flag.Bool("json", false, "emit results as JSON instead of tables")
+		all       = flag.Bool("all", false, "run everything")
+	)
+	flag.Parse()
+
+	ran := false
+	if *all || *overheads {
+		ran = true
+		ov, err := tables.RunOverheads()
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit(*asJSON, ov, ov.Format)
+	}
+	if *all || *table == 1 {
+		ran = true
+		t1, err := tables.RunTable1(*n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit(*asJSON, t1, t1.Format)
+	}
+	if *all || *table == 2 {
+		ran = true
+		var t2 *tables.Table2Result
+		var err error
+		if *small {
+			t2, err = tables.RunTable2Small()
+		} else {
+			t2, err = tables.RunTable2()
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit(*asJSON, t2, t2.Format)
+	}
+	if *all || *ablation == "net" {
+		ran = true
+		rows, err := tables.RunNetworkAblation(*n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit(*asJSON, rows, func() string { return tables.FormatNetworkAblation(rows) })
+	}
+	if *all || *ablation == "sched" {
+		ran = true
+		rows, err := tables.RunSchedulingAblation()
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit(*asJSON, rows, func() string { return tables.FormatScheduling(rows) })
+	}
+	if *all || *ablation == "pref" {
+		ran = true
+		rows, err := tables.RunPrefetchBlockAblation(*n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit(*asJSON, rows, func() string { return tables.FormatPrefetchBlock(rows) })
+	}
+	if *all || *scaled {
+		ran = true
+		rows, err := tables.RunScaledCedar(*n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit(*asJSON, rows, func() string { return tables.FormatScaled(rows) })
+	}
+	if *all || *membw {
+		ran = true
+		bw, err := tables.RunMemBW(4096)
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit(*asJSON, bw, bw.Format)
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,60 @@
+// Command judge applies the paper's §4.3 methodology — the Practical
+// Parallelism Tests — to the simulated Cedar and the comparator machines:
+// Table 5 (instability of the Perfect ensembles on Cedar, Cray-1 and
+// YMP/8), Table 6 (restructuring efficiency bands), Figure 3 (the
+// YMP-vs-Cedar efficiency scatter for hand-optimized codes) and the PPT4
+// scalability study (CG on Cedar against banded matvec on the CM-5).
+//
+// Usage:
+//
+//	judge                 # tables 5 and 6 plus figure 3 (runs the suite)
+//	judge -ppt4 [-full]   # the scalability study only
+//	judge -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"cedar/internal/params"
+	"cedar/internal/tables"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("judge: ")
+	var (
+		ppt4Only = flag.Bool("ppt4", false, "run only the PPT4 scalability study")
+		full     = flag.Bool("full", false, "use the paper's largest problem sizes")
+		all      = flag.Bool("all", false, "run everything")
+		quiet    = flag.Bool("q", false, "suppress per-run progress lines")
+	)
+	flag.Parse()
+
+	if !*ppt4Only || *all {
+		progress := os.Stderr
+		if *quiet {
+			progress = nil
+		}
+		suite, err := tables.RunSuite(params.Default(), nil, progress)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("Table 5: Instability for Perfect codes")
+		fmt.Println(tables.BuildTable5(suite).Format())
+		fmt.Println("Table 6: Restructuring Efficiency")
+		fmt.Println(tables.BuildTable6(suite).Format())
+		fmt.Println("Figure 3: Cray YMP/8 vs Cedar Efficiency")
+		fmt.Println(tables.BuildFigure3(suite).Format())
+	}
+	if *ppt4Only || *all {
+		res, err := tables.RunPPT4(*full)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("PPT4: code and architecture scalability")
+		fmt.Println(res.Format())
+	}
+}

@@ -1,0 +1,66 @@
+// Command perfect runs the Perfect Benchmarks® proxy suite on the
+// simulated Cedar and prints Tables 3 and 4: execution time, MFLOPS and
+// speed improvement for the KAP-compiled and automatable versions (with
+// the no-Cedar-sync and no-prefetch ablations), and the hand-optimized
+// results.
+//
+// Usage:
+//
+//	perfect              # full 13-code suite (several minutes)
+//	perfect -codes ARC2D,QCD,SPICE
+//	perfect -q           # suppress per-run progress
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"cedar/internal/params"
+	"cedar/internal/perfect"
+	"cedar/internal/tables"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("perfect: ")
+	var (
+		codesFlag = flag.String("codes", "", "comma-separated subset of codes (default: all 13)")
+		quiet     = flag.Bool("q", false, "suppress per-run progress lines")
+	)
+	flag.Parse()
+
+	codes := perfect.All()
+	if *codesFlag != "" {
+		want := map[string]bool{}
+		for _, c := range strings.Split(*codesFlag, ",") {
+			want[strings.ToUpper(strings.TrimSpace(c))] = true
+		}
+		var sel []perfect.Profile
+		for _, p := range codes {
+			if want[p.Name] {
+				sel = append(sel, p)
+			}
+		}
+		if len(sel) == 0 {
+			log.Fatalf("no codes match %q", *codesFlag)
+		}
+		codes = sel
+	}
+
+	var progress io.Writer = os.Stderr
+	if *quiet {
+		progress = nil
+	}
+	suite, err := tables.RunSuite(params.Default(), codes, progress)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Table 3: Cedar execution time, MFLOPS and speed improvement for the Perfect Benchmarks")
+	fmt.Println(tables.BuildTable3(suite).Format())
+	fmt.Println("Table 4: execution times for manually altered Perfect codes")
+	fmt.Println(tables.FormatTable4(tables.BuildTable4(suite)))
+}

@@ -1,0 +1,42 @@
+// cgscaling reproduces the shape of the paper's PPT4 study (§4.3): a
+// 5-diagonal conjugate gradient solver swept over processor counts and
+// problem sizes. Cedar shows scalable high performance for systems larger
+// than ≈10-16K unknowns and intermediate performance for debugging-sized
+// runs.
+//
+//	go run ./examples/cgscaling [-iters 3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"cedar"
+)
+
+func main() {
+	iters := flag.Int("iters", 3, "CG iterations per measurement")
+	flag.Parse()
+
+	fmt.Printf("%8s", "N \\ P")
+	ps := []int{2, 8, 32}
+	for _, p := range ps {
+		fmt.Printf("  %6d CE", p)
+	}
+	fmt.Println("   (MFLOPS)")
+
+	for _, n := range []int{1 << 10, 8 << 10, 32 << 10} {
+		fmt.Printf("%8d", n)
+		for _, p := range ps {
+			m := cedar.NewMachine(cedar.DefaultParams(), cedar.Options{})
+			res, err := cedar.CG(m, cedar.CGConfig{N: n, Iters: *iters, MaxCEs: p})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %9.1f", res.MFLOPS)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\npaper: 34-48 MFLOPS on 32 processors for 10K <= N <= 172K")
+}

@@ -1,0 +1,61 @@
+// perfectsweep runs a few Perfect Benchmark proxies through their
+// variants — serial, KAP-compiled, automatable, hand-optimized — the way
+// §3.3 and §4.2 of the paper discuss them: KAP alone buys little; the
+// automatable transformations (array privatization, parallel reductions,
+// runtime dependence tests...) buy a lot; algorithmic hand work buys the
+// rest.
+//
+//	go run ./examples/perfectsweep [-code QCD]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"cedar"
+)
+
+func main() {
+	code := flag.String("code", "QCD,DYFESM,BDNA", "comma-separated Perfect codes")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, c := range strings.Split(*code, ",") {
+		want[strings.ToUpper(strings.TrimSpace(c))] = true
+	}
+
+	pm := cedar.DefaultParams()
+	for _, prof := range cedar.PerfectCodes() {
+		if !want[prof.Name] {
+			continue
+		}
+		serial, err := cedar.RunPerfect(pm, prof, cedar.PerfectSpec{Variant: cedar.PerfectSerial})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: serial %.0f s\n", prof.Name, serial.Seconds)
+		for _, spec := range []cedar.PerfectSpec{
+			{Variant: cedar.PerfectKAP},
+			{Variant: cedar.PerfectAuto},
+			{Variant: cedar.PerfectAuto, NoSync: true},
+			{Variant: cedar.PerfectAuto, NoSync: true, NoPref: true},
+			{Variant: cedar.PerfectHand},
+		} {
+			out, err := cedar.RunPerfect(pm, prof, spec)
+			if err != nil {
+				log.Fatal(err)
+			}
+			name := spec.Variant.String()
+			if spec.NoSync {
+				name += " -sync"
+			}
+			if spec.NoPref {
+				name += " -pref"
+			}
+			fmt.Printf("  %-22s %8.1f s   speedup %5.1f   %6.2f MFLOPS\n",
+				name, out.Seconds, serial.Seconds/out.Seconds, out.MFLOPS)
+		}
+	}
+}

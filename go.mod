@@ -1,0 +1,3 @@
+module cedar
+
+go 1.22

@@ -1,0 +1,295 @@
+// Package cache models the Alliant FX/8 four-way interleaved shared cache:
+// 512 KB, 32-byte lines, physically addressed, write-back, and lockup-free
+// with two outstanding misses per CE. Its bandwidth is eight 64-bit words
+// per instruction cycle — one input stream per vector pipe in each of the
+// eight CEs — while the cluster memory behind it provides half of that.
+//
+// The model keeps a real tag array (set-associative with LRU replacement;
+// params.CacheWays, direct-mapped by default) so capacity and conflict
+// behaviour are genuine, but reads data through the shared backing store;
+// the cache's job in the simulation is timing, the store's is values.
+package cache
+
+import (
+	"fmt"
+
+	"cedar/internal/cmem"
+	"cedar/internal/params"
+)
+
+// invalidTag marks an empty cache frame.
+const invalidTag = ^uint64(0)
+
+type request struct {
+	addr  uint64
+	write bool
+	value int64
+	done  func(cycle int64)
+}
+
+type frame struct {
+	tag   uint64 // line address, or invalidTag
+	dirty bool
+	used  int64 // last-touch stamp for LRU within a set
+}
+
+type mshr struct {
+	owner   int // CE whose miss allocated the entry
+	waiting []request
+}
+
+// Cache is one cluster's shared cache in front of its cluster memory.
+type Cache struct {
+	p   params.Machine
+	mem *cmem.Memory
+
+	nCE       int
+	lineWords uint64
+	numSets   uint64
+	ways      int
+	clock     int64 // LRU stamp source
+
+	frames  []frame
+	queues  [][]request
+	missOut []int
+	mshrs   map[uint64]*mshr
+	rr      int
+
+	firing []firing
+	stats  Stats
+}
+
+type firing struct {
+	at int64
+	f  func(int64)
+}
+
+// Stats holds cumulative cache counters.
+type Stats struct {
+	Hits       int64
+	Misses     int64
+	MissAttach int64 // requests folded into an in-flight fill
+	WriteBacks int64
+	StallCyc   int64 // CE-cycles a queue head waited for a miss slot
+}
+
+// New builds the cache for nCE client CEs over the given cluster memory.
+func New(p params.Machine, nCE int, mem *cmem.Memory) *Cache {
+	lineWords := uint64(p.CacheLineBytes / 8)
+	if lineWords == 0 {
+		panic("cache: line smaller than a word")
+	}
+	ways := p.CacheWays
+	if ways < 1 {
+		ways = 1
+	}
+	numLines := uint64(p.CacheBytes / p.CacheLineBytes)
+	numSets := numLines / uint64(ways)
+	if numSets == 0 {
+		panic("cache: fewer lines than ways")
+	}
+	c := &Cache{
+		p:         p,
+		mem:       mem,
+		nCE:       nCE,
+		lineWords: lineWords,
+		numSets:   numSets,
+		ways:      ways,
+		frames:    make([]frame, numSets*uint64(ways)),
+		queues:    make([][]request, nCE),
+		missOut:   make([]int, nCE),
+		mshrs:     make(map[uint64]*mshr),
+	}
+	for i := range c.frames {
+		c.frames[i].tag = invalidTag
+	}
+	return c
+}
+
+// queueCap bounds each CE's pending requests at the cache.
+const queueCap = 8
+
+// Stats returns cumulative counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Submit enqueues a word access for a CE. done fires when the word is
+// available (reads) or accepted (writes). It returns false when the CE's
+// queue is full; the caller retries next cycle.
+func (c *Cache) Submit(ce int, addr uint64, write bool, value int64, done func(cycle int64)) bool {
+	if ce < 0 || ce >= c.nCE {
+		panic(fmt.Sprintf("cache: CE %d out of range", ce))
+	}
+	if len(c.queues[ce]) >= queueCap {
+		return false
+	}
+	c.queues[ce] = append(c.queues[ce], request{addr: addr, write: write, value: value, done: done})
+	return true
+}
+
+// Idle reports whether no requests are queued, in flight, or completing.
+func (c *Cache) Idle() bool {
+	if len(c.mshrs) != 0 || len(c.firing) != 0 {
+		return false
+	}
+	for _, q := range c.queues {
+		if len(q) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// set returns the frames of the set holding line.
+func (c *Cache) set(line uint64) []frame {
+	s := (line % c.numSets) * uint64(c.ways)
+	return c.frames[s : s+uint64(c.ways)]
+}
+
+// lookup returns the frame holding line, or nil.
+func (c *Cache) lookup(line uint64) *frame {
+	set := c.set(line)
+	for i := range set {
+		if set[i].tag == line {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// victim returns the set's LRU frame.
+func (c *Cache) victim(line uint64) *frame {
+	set := c.set(line)
+	v := &set[0]
+	for i := 1; i < len(set); i++ {
+		if set[i].tag == invalidTag {
+			return &set[i]
+		}
+		if set[i].used < v.used {
+			v = &set[i]
+		}
+	}
+	return v
+}
+
+// Contains reports whether the line holding addr is resident, for tests.
+func (c *Cache) Contains(addr uint64) bool {
+	return c.lookup(addr/c.lineWords) != nil
+}
+
+// Tick serves up to CacheWordsPerCyc requests round-robin across the CE
+// queues and fires due completions.
+func (c *Cache) Tick(cycle int64) {
+	if len(c.firing) > 0 {
+		keep := c.firing[:0]
+		for _, f := range c.firing {
+			if f.at <= cycle {
+				f.f(cycle)
+			} else {
+				keep = append(keep, f)
+			}
+		}
+		c.firing = keep
+	}
+
+	// One round-robin pass: each CE may be served up to two words per
+	// cycle (a load stream plus a store), within the cluster-wide
+	// CacheWordsPerCyc budget.
+	credit := c.p.CacheWordsPerCyc
+	start := c.rr + 1
+	for scan := 0; scan < c.nCE && credit > 0; scan++ {
+		ce := (start + scan) % c.nCE
+		for served := 0; served < 2 && credit > 0 && len(c.queues[ce]) > 0; served++ {
+			if !c.serveHead(ce, cycle) {
+				c.stats.StallCyc++
+				break
+			}
+			credit--
+		}
+	}
+	c.rr = start % c.nCE
+}
+
+// serveHead attempts the head request of a CE queue. It reports whether a
+// request was consumed (hit, write, or miss initiation/attachment).
+func (c *Cache) serveHead(ce int, cycle int64) bool {
+	q := c.queues[ce]
+	r := q[0]
+	line := r.addr / c.lineWords
+	c.clock++
+
+	pop := func() { c.queues[ce] = q[1:] }
+
+	if fr := c.lookup(line); fr != nil {
+		// Hit.
+		c.stats.Hits++
+		fr.used = c.clock
+		if r.write {
+			fr.dirty = true
+			c.mem.Store().StoreWord(r.addr, r.value)
+			if r.done != nil {
+				c.firing = append(c.firing, firing{at: cycle, f: r.done})
+			}
+		} else if r.done != nil {
+			c.firing = append(c.firing, firing{at: cycle + int64(c.p.CacheHitLatency), f: r.done})
+		}
+		pop()
+		return true
+	}
+
+	if m, ok := c.mshrs[line]; ok {
+		// Fold into the in-flight fill.
+		c.stats.MissAttach++
+		m.waiting = append(m.waiting, r)
+		pop()
+		return true
+	}
+
+	// New miss: needs one of the CE's two miss slots.
+	if c.missOut[ce] >= c.p.CacheMissPerCE {
+		return false
+	}
+	c.stats.Misses++
+	c.missOut[ce]++
+	m := &mshr{owner: ce, waiting: []request{r}}
+	c.mshrs[line] = m
+	pop()
+
+	// Evict the set's LRU occupant (write-back if dirty) and fetch.
+	fr := c.victim(line)
+	if fr.tag != invalidTag && fr.dirty {
+		c.stats.WriteBacks++
+		c.mem.Submit(int(c.lineWords), nil)
+	}
+	fr.tag = invalidTag
+	fr.dirty = false
+	c.mem.Submit(int(c.lineWords), func(fillCycle int64) {
+		c.fill(line, fillCycle)
+	})
+	return true
+}
+
+// fill completes a line fetch: installs the tag and releases waiters.
+func (c *Cache) fill(line uint64, cycle int64) {
+	m := c.mshrs[line]
+	if m == nil {
+		return
+	}
+	delete(c.mshrs, line)
+	c.missOut[m.owner]--
+	fr := c.victim(line)
+	c.clock++
+	fr.tag = line
+	fr.dirty = false
+	fr.used = c.clock
+	for _, r := range m.waiting {
+		if r.write {
+			fr.dirty = true
+			c.mem.Store().StoreWord(r.addr, r.value)
+			if r.done != nil {
+				c.firing = append(c.firing, firing{at: cycle, f: r.done})
+			}
+		} else if r.done != nil {
+			c.firing = append(c.firing, firing{at: cycle + int64(c.p.CacheHitLatency), f: r.done})
+		}
+	}
+}

@@ -1,0 +1,317 @@
+package cache
+
+import (
+	"testing"
+
+	"cedar/internal/cmem"
+	"cedar/internal/params"
+)
+
+type rig struct {
+	p     params.Machine
+	mem   *cmem.Memory
+	c     *Cache
+	cycle int64
+}
+
+func newRig() *rig {
+	p := params.Default()
+	mem := cmem.New(p.CMemWordsPerCyc, p.CMemLatency, nil)
+	return &rig{p: p, mem: mem, c: New(p, p.CEsPerCluster, mem)}
+}
+
+func (r *rig) tick() {
+	r.c.Tick(r.cycle)
+	r.mem.Tick(r.cycle)
+	r.cycle++
+}
+
+func (r *rig) runUntilIdle(t *testing.T, limit int) {
+	t.Helper()
+	for i := 0; i < limit; i++ {
+		if r.c.Idle() && r.mem.Idle() {
+			return
+		}
+		r.tick()
+	}
+	t.Fatalf("not idle after %d cycles", limit)
+}
+
+func TestMissThenHit(t *testing.T) {
+	r := newRig()
+	var missDone, hitDone int64 = -1, -1
+	if !r.c.Submit(0, 100, false, 0, func(cy int64) { missDone = cy }) {
+		t.Fatal("submit refused")
+	}
+	r.runUntilIdle(t, 1000)
+	if missDone < 0 {
+		t.Fatal("miss never completed")
+	}
+	// Miss cost ≥ cluster memory latency.
+	if missDone < int64(r.p.CMemLatency) {
+		t.Errorf("miss completed at %d, faster than cluster memory latency %d", missDone, r.p.CMemLatency)
+	}
+	if !r.c.Contains(100) {
+		t.Error("line not resident after fill")
+	}
+	start := r.cycle
+	r.c.Submit(0, 101, false, 0, func(cy int64) { hitDone = cy }) // same 4-word line
+	r.runUntilIdle(t, 1000)
+	if hitDone < 0 {
+		t.Fatal("hit never completed")
+	}
+	if lat := hitDone - start; lat > int64(r.p.CacheHitLatency)+1 {
+		t.Errorf("hit latency %d, want ≈%d", lat, r.p.CacheHitLatency)
+	}
+	st := r.c.Stats()
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Errorf("stats = %+v, want 1 miss 1 hit", st)
+	}
+}
+
+func TestWriteReadThroughStore(t *testing.T) {
+	r := newRig()
+	ok := r.c.Submit(2, 555, true, 42, nil)
+	if !ok {
+		t.Fatal("refused")
+	}
+	r.runUntilIdle(t, 1000)
+	if got := r.mem.Store().Load(555); got != 42 {
+		t.Fatalf("store = %d, want 42", got)
+	}
+	var got int64
+	r.c.Submit(3, 555, false, 0, func(int64) { got = r.mem.Store().Load(555) })
+	r.runUntilIdle(t, 1000)
+	if got != 42 {
+		t.Fatalf("read %d, want 42", got)
+	}
+}
+
+func TestMissesFoldIntoMSHR(t *testing.T) {
+	r := newRig()
+	done := 0
+	for i := 0; i < 4; i++ {
+		addr := uint64(200 + i) // same 32-byte line (4 words)
+		if !r.c.Submit(i%2, addr, false, 0, func(int64) { done++ }) {
+			t.Fatal("refused")
+		}
+	}
+	r.runUntilIdle(t, 1000)
+	if done != 4 {
+		t.Fatalf("%d completions, want 4", done)
+	}
+	st := r.c.Stats()
+	if st.Misses != 1 {
+		t.Errorf("misses = %d, want 1 (one line)", st.Misses)
+	}
+	if st.MissAttach != 3 {
+		t.Errorf("attached = %d, want 3", st.MissAttach)
+	}
+}
+
+func TestLockupFreeTwoMissesPerCE(t *testing.T) {
+	r := newRig()
+	// Three distinct lines from one CE: the third miss must wait for a
+	// miss slot, so completions arrive in two waves.
+	var times []int64
+	for i := 0; i < 3; i++ {
+		addr := uint64(i * 1024)
+		if !r.c.Submit(0, addr, false, 0, func(cy int64) { times = append(times, cy) }) {
+			t.Fatal("refused")
+		}
+	}
+	r.runUntilIdle(t, 1000)
+	if len(times) != 3 {
+		t.Fatalf("%d completions, want 3", len(times))
+	}
+	if r.c.Stats().StallCyc == 0 {
+		t.Error("third miss should have stalled for a miss slot")
+	}
+	if times[2] <= times[1] {
+		t.Error("third miss should complete after the first wave")
+	}
+}
+
+func TestDirtyEvictionWritesBack(t *testing.T) {
+	p := params.Default()
+	p.CacheBytes = 4 * p.CacheLineBytes // tiny 4-line cache to force eviction
+	mem := cmem.New(p.CMemWordsPerCyc, p.CMemLatency, nil)
+	c := New(p, 1, mem)
+	cycle := int64(0)
+	step := func() { c.Tick(cycle); mem.Tick(cycle); cycle++ }
+	run := func() {
+		for i := 0; i < 1000 && !(c.Idle() && mem.Idle()); i++ {
+			step()
+		}
+	}
+	c.Submit(0, 0, true, 7, nil) // dirty line 0
+	run()
+	// Line 4*lineWords maps to the same frame in a 4-line cache.
+	conflict := uint64(4 * (p.CacheLineBytes / 8) * 4)
+	_ = conflict
+	c.Submit(0, uint64(4*4), false, 0, nil) // line index 4 -> frame 0
+	run()
+	if c.Stats().WriteBacks != 1 {
+		t.Errorf("write-backs = %d, want 1", c.Stats().WriteBacks)
+	}
+	if c.Contains(0) {
+		t.Error("victim line still resident")
+	}
+}
+
+func TestQueueBackPressure(t *testing.T) {
+	r := newRig()
+	n := 0
+	for i := 0; ; i++ {
+		if !r.c.Submit(0, uint64(i), false, 0, nil) {
+			break
+		}
+		n++
+		if n > 100 {
+			t.Fatal("queue never filled")
+		}
+	}
+	if n != queueCap {
+		t.Errorf("accepted %d before refusing, want %d", n, queueCap)
+	}
+	r.runUntilIdle(t, 10000)
+	if !r.c.Submit(0, 0, false, 0, nil) {
+		t.Error("still refusing after drain")
+	}
+	r.runUntilIdle(t, 1000)
+}
+
+func TestBandwidthEightWordsPerCycle(t *testing.T) {
+	// All 8 CEs streaming hits: aggregate ≈8 words/cycle.
+	r := newRig()
+	// Warm one line per CE region, then stream hits.
+	for ce := 0; ce < 8; ce++ {
+		r.c.Submit(ce, uint64(ce*4), false, 0, nil)
+	}
+	r.runUntilIdle(t, 1000)
+	done := 0
+	const perCE = 100
+	pending := make([]int, 8)
+	issued := make([]int, 8)
+	start := r.cycle
+	for done < 8*perCE {
+		for ce := 0; ce < 8; ce++ {
+			ce := ce
+			if issued[ce] < perCE && pending[ce] < queueCap {
+				addr := uint64(ce*4) + uint64(issued[ce]%4)
+				if r.c.Submit(ce, addr, false, 0, func(int64) { done++; pending[ce]-- }) {
+					issued[ce]++
+					pending[ce]++
+				}
+			}
+		}
+		r.tick()
+		if r.cycle-start > 10000 {
+			t.Fatal("stalled")
+		}
+	}
+	elapsed := r.cycle - start
+	perCycle := float64(8*perCE) / float64(elapsed)
+	if perCycle < 6.5 {
+		t.Errorf("hit bandwidth %.2f words/cycle, want ≈8", perCycle)
+	}
+}
+
+func TestSingleCECappedAtTwoWordsPerCycle(t *testing.T) {
+	r := newRig()
+	r.c.Submit(0, 0, false, 0, nil)
+	r.runUntilIdle(t, 1000)
+	done := 0
+	issued := 0
+	pendingCount := 0
+	start := r.cycle
+	const n = 100
+	for done < n {
+		if issued < n && pendingCount < queueCap {
+			if r.c.Submit(0, uint64(issued%4), false, 0, func(int64) { done++; pendingCount-- }) {
+				issued++
+				pendingCount++
+			}
+		}
+		r.tick()
+		if r.cycle-start > 10000 {
+			t.Fatal("stalled")
+		}
+	}
+	elapsed := r.cycle - start
+	perCycle := float64(n) / float64(elapsed)
+	if perCycle > 2.2 {
+		t.Errorf("single CE got %.2f words/cycle, cap is 2", perCycle)
+	}
+}
+
+func TestSetAssociativityAvoidsConflictMisses(t *testing.T) {
+	// Two lines that map to the same set thrash a direct-mapped cache
+	// but coexist in a 2-way set.
+	run := func(ways int) int64 {
+		p := params.Default()
+		p.CacheBytes = 4 * p.CacheLineBytes // 4 lines total
+		p.CacheWays = ways
+		mem := cmem.New(p.CMemWordsPerCyc, p.CMemLatency, nil)
+		c := New(p, 1, mem)
+		cycle := int64(0)
+		run := func() {
+			for i := 0; i < 2000 && !(c.Idle() && mem.Idle()); i++ {
+				c.Tick(cycle)
+				mem.Tick(cycle)
+				cycle++
+			}
+		}
+		lineWords := uint64(p.CacheLineBytes / 8)
+		sets := uint64(4 / ways)
+		a := uint64(0)
+		b := sets * lineWords // same set as a, different tag
+		for rep := 0; rep < 10; rep++ {
+			c.Submit(0, a, false, 0, nil)
+			run()
+			c.Submit(0, b, false, 0, nil)
+			run()
+		}
+		return c.Stats().Misses
+	}
+	direct := run(1)
+	twoWay := run(2)
+	if direct < 15 {
+		t.Errorf("direct-mapped misses %d; alternating conflict lines should thrash", direct)
+	}
+	if twoWay > 4 {
+		t.Errorf("2-way misses %d; both lines should coexist", twoWay)
+	}
+}
+
+func TestLRUWithinSet(t *testing.T) {
+	// 2-way, one set: touching A, B, A then C must evict B (LRU), not A.
+	p := params.Default()
+	p.CacheBytes = 2 * p.CacheLineBytes
+	p.CacheWays = 2
+	mem := cmem.New(p.CMemWordsPerCyc, p.CMemLatency, nil)
+	c := New(p, 1, mem)
+	cycle := int64(0)
+	run := func() {
+		for i := 0; i < 2000 && !(c.Idle() && mem.Idle()); i++ {
+			c.Tick(cycle)
+			mem.Tick(cycle)
+			cycle++
+		}
+	}
+	lw := uint64(p.CacheLineBytes / 8)
+	a, b, cc := uint64(0), 1*lw, 2*lw
+	for _, addr := range []uint64{a, b, a, cc} {
+		c.Submit(0, addr, false, 0, nil)
+		run()
+	}
+	if !c.Contains(a) {
+		t.Error("A (recently used) evicted")
+	}
+	if c.Contains(b) {
+		t.Error("B (least recently used) survived")
+	}
+	if !c.Contains(cc) {
+		t.Error("C not installed")
+	}
+}

@@ -1,0 +1,370 @@
+package ce
+
+import (
+	"fmt"
+
+	"cedar/internal/cache"
+	"cedar/internal/network"
+	"cedar/internal/params"
+	"cedar/internal/prefetch"
+)
+
+// Tag layout for CE-issued packets (bit 31 belongs to the PFU).
+const (
+	tagKindShift = 28
+	tagKindVec   = 1 << tagKindShift
+	tagKindLoad  = 2 << tagKindShift
+	tagKindSync  = 3 << tagKindShift
+	tagKindStore = 4 << tagKindShift
+	tagKindMask  = 7 << tagKindShift
+)
+
+// CE is one computational element.
+type CE struct {
+	ID          int // machine-wide CE number
+	Cluster     int
+	IDInCluster int
+	Port        int // network port
+
+	p      params.Machine
+	fwd    network.Fabric
+	rev    network.Fabric
+	pfu    *prefetch.PFU
+	cache  *cache.Cache
+	modFor func(uint64) int
+	ctrl   Controller
+
+	cur *Instr
+
+	// Scalar execution.
+	busyUntil int64
+	started   bool
+
+	// Blocking scalar load / sync.
+	issuedScalar bool
+	scalarDoneAt int64
+	scalarVal    int64
+	scalarPassed bool
+	scalarBack   bool
+
+	// Vector execution.
+	vec vecState
+
+	// Store tracking (global write acks).
+	storesOutstanding int
+	pendingStores     []*network.Packet
+
+	// Accounting.
+	flops     int64
+	finished  bool
+	activeCyc int64
+	waitCyc   int64
+	doneAt    int64
+}
+
+type vecState struct {
+	streams      []streamState
+	dst          *Stream
+	n            int
+	flopsPer     int64
+	completed    int
+	pipeFree     int64
+	stripCharged bool
+	outstanding  int     // non-prefetch global loads in flight (≤ MaxOutstanding)
+	freeAt       []int64 // completion times that release outstanding slots
+	storesQueued int     // completed elements whose store is not yet issued
+	nextStoreEl  int
+}
+
+type streamState struct {
+	s      Stream
+	issued int
+	avail  []int64 // per-element availability cycle; -1 = not yet
+
+	// Prefetch block management.
+	blockStart int // first element of the armed block
+	blockLen   int
+
+	// Cluster in-order delivery.
+	clusterInFlight int
+}
+
+// New builds a CE. cache may be nil for configurations under test without
+// a cluster hierarchy.
+func New(p params.Machine, id, clusterID, idInCluster, port int,
+	fwd, rev network.Fabric, cch *cache.Cache, modFor func(uint64) int) *CE {
+	c := &CE{
+		ID:          id,
+		Cluster:     clusterID,
+		IDInCluster: idInCluster,
+		Port:        port,
+		p:           p,
+		fwd:         fwd,
+		rev:         rev,
+		cache:       cch,
+		modFor:      modFor,
+	}
+	c.pfu = prefetch.New(p, port, fwd, modFor)
+	return c
+}
+
+// PFU exposes the CE's prefetch unit (for monitor attachment).
+func (c *CE) PFU() *prefetch.PFU { return c.pfu }
+
+// SetController installs the instruction source and clears completion.
+func (c *CE) SetController(ctrl Controller) {
+	c.ctrl = ctrl
+	c.finished = false
+}
+
+// Flops returns the floating-point operations completed so far.
+func (c *CE) Flops() int64 { return c.flops }
+
+// ActiveCycles returns cycles spent with an instruction in progress.
+func (c *CE) ActiveCycles() int64 { return c.activeCyc }
+
+// WaitCycles returns cycles spent idle waiting for the controller.
+func (c *CE) WaitCycles() int64 { return c.waitCyc }
+
+// DoneAt returns the cycle the controller finished (valid once Idle).
+func (c *CE) DoneAt() int64 { return c.doneAt }
+
+// Name implements sim.Component.
+func (c *CE) Name() string { return fmt.Sprintf("ce%d", c.ID) }
+
+// Idle implements sim.Idler: finished and nothing in flight.
+func (c *CE) Idle() bool {
+	return c.finished && c.cur == nil && c.storesOutstanding == 0 &&
+		len(c.pendingStores) == 0 && !c.pfu.Busy()
+}
+
+// Tick implements sim.Component.
+func (c *CE) Tick(cycle int64) {
+	c.drainReplies(cycle)
+	c.retryStores()
+
+	if c.cur == nil && !c.finished {
+		c.fetch(cycle)
+	}
+	if c.cur != nil {
+		c.activeCyc++
+		c.execute(cycle)
+	} else if !c.finished {
+		c.waitCyc++
+	}
+
+	// The PFU shares the CE's network port; it issues with whatever port
+	// bandwidth the CE left unused this cycle.
+	if c.pfu.Suspended() {
+		c.pfu.Resume(c.pfu.PendingAddr())
+	}
+	c.pfu.Tick(cycle)
+}
+
+func (c *CE) fetch(cycle int64) {
+	if c.ctrl == nil {
+		// A CE with no controller has no work: immediately finished, so
+		// unassigned CEs do not hold up idleness detection.
+		c.finished = true
+		c.doneAt = cycle
+		return
+	}
+	in, st := c.ctrl.Next(c.ID, cycle)
+	switch st {
+	case Finished:
+		c.finished = true
+		c.doneAt = cycle
+	case Wait:
+	case Ready:
+		c.cur = in
+		c.started = false
+	}
+}
+
+func (c *CE) retire(cycle int64) {
+	done := c.cur.OnDone
+	c.cur = nil
+	if done != nil {
+		done(cycle)
+	}
+	// Allow back-to-back fetch next tick (1-cycle issue overhead).
+}
+
+func (c *CE) execute(cycle int64) {
+	switch c.cur.Op {
+	case OpScalar:
+		if !c.started {
+			c.started = true
+			c.busyUntil = cycle + c.cur.Cycles
+		}
+		if cycle >= c.busyUntil {
+			c.flops += c.cur.Flops
+			c.retire(cycle)
+		}
+
+	case OpGlobalLoad, OpSync:
+		c.execScalarGlobal(cycle)
+
+	case OpGlobalStore:
+		pkt := &network.Packet{
+			Kind: network.WriteReq, Src: c.Port, Dst: c.modFor(c.cur.Addr),
+			Addr: c.cur.Addr, Value: c.cur.Value,
+			Tag: tagKindStore, Issue: cycle,
+		}
+		if c.offerStore(pkt) {
+			c.retire(cycle)
+		}
+
+	case OpFence:
+		if c.storesOutstanding == 0 && len(c.pendingStores) == 0 {
+			c.retire(cycle)
+		}
+
+	case OpClusterLoad:
+		if !c.started {
+			c.started = true
+			c.scalarBack = false
+			ok := c.cache.Submit(c.IDInCluster, c.cur.Addr, false, 0, func(at int64) {
+				c.scalarBack = true
+				c.scalarDoneAt = at
+			})
+			if !ok {
+				c.started = false
+			}
+		} else if c.scalarBack && cycle >= c.scalarDoneAt {
+			if c.cur.OnResult != nil {
+				c.cur.OnResult(0, true, cycle)
+			}
+			c.retire(cycle)
+		}
+
+	case OpClusterStore:
+		if c.cache.Submit(c.IDInCluster, c.cur.Addr, true, c.cur.Value, nil) {
+			c.retire(cycle)
+		}
+
+	case OpVector:
+		if !c.started {
+			c.started = true
+			c.startVector(cycle)
+		}
+		c.execVector(cycle)
+
+	default:
+		panic(fmt.Sprintf("ce: unknown op %d", c.cur.Op))
+	}
+}
+
+func (c *CE) execScalarGlobal(cycle int64) {
+	if !c.issuedScalar {
+		var pkt *network.Packet
+		if c.cur.Op == OpSync {
+			pkt = &network.Packet{
+				Kind: network.SyncReq, Src: c.Port, Dst: c.modFor(c.cur.Addr),
+				Addr: c.cur.Addr, Value: c.cur.Value,
+				Test: c.cur.Test, Mut: c.cur.Mut, TestArg: c.cur.TestArg,
+				Tag: tagKindSync, Issue: cycle,
+			}
+		} else {
+			pkt = &network.Packet{
+				Kind: network.ReadReq, Src: c.Port, Dst: c.modFor(c.cur.Addr),
+				Addr: c.cur.Addr, Tag: tagKindLoad, Issue: cycle,
+			}
+		}
+		if c.fwd.Offer(pkt) {
+			c.issuedScalar = true
+			c.scalarBack = false
+		}
+		return
+	}
+	if c.scalarBack && cycle >= c.scalarDoneAt {
+		c.issuedScalar = false
+		if c.cur.OnResult != nil {
+			c.cur.OnResult(c.scalarVal, c.scalarPassed, cycle)
+		}
+		c.flops += c.cur.Flops
+		c.retire(cycle)
+	}
+}
+
+// drainReplies dispatches everything waiting on the reverse port.
+// Returning prefetch words land in the 512-word prefetch buffer and other
+// replies in dedicated registers, so the port drains without back-pressure
+// (the CE-side transfer time is modeled as availability delay instead).
+func (c *CE) drainReplies(cycle int64) {
+	for {
+		pkt := c.rev.Poll(c.Port)
+		if pkt == nil {
+			return
+		}
+		if c.pfu.Deliver(pkt, cycle) {
+			continue
+		}
+		switch pkt.Tag & tagKindMask {
+		case tagKindStore:
+			c.storesOutstanding--
+		case tagKindLoad, tagKindSync:
+			c.scalarBack = true
+			c.scalarVal = pkt.Value
+			c.scalarPassed = pkt.TestPassed
+			c.scalarDoneAt = cycle + int64(c.p.CELoadOverhead)
+		case tagKindVec:
+			si := int(pkt.Tag>>16) & 0xfff
+			el := int(pkt.Tag & 0xffff)
+			vs := &c.vec
+			if si < len(vs.streams) && el < len(vs.streams[si].avail) {
+				t := cycle + int64(c.p.CELoadOverhead)
+				vs.streams[si].avail[el] = t
+				// The CE's outstanding-request slot frees when the load
+				// completes into a register (the full 13-cycle latency),
+				// not when the packet leaves the network — this is what
+				// pins GM/no-pref at 2 requests per 13 cycles.
+				vs.freeAt = append(vs.freeAt, t)
+			}
+		default:
+			panic(fmt.Sprintf("ce%d: unmatched reply %v", c.ID, pkt))
+		}
+	}
+}
+
+func (c *CE) offerStore(pkt *network.Packet) bool {
+	if len(c.pendingStores) > 0 {
+		// Preserve order behind earlier refused stores.
+		if len(c.pendingStores) >= storePendingCap {
+			return false
+		}
+		c.pendingStores = append(c.pendingStores, pkt)
+		return true
+	}
+	if c.fwd.Offer(pkt) {
+		c.storesOutstanding++
+		return true
+	}
+	if len(c.pendingStores) >= storePendingCap {
+		return false
+	}
+	c.pendingStores = append(c.pendingStores, pkt)
+	return true
+}
+
+const storePendingCap = 8
+
+// offerVecStore issues one vector-element global store.
+func (c *CE) offerVecStore(addr uint64, cycle int64) bool {
+	pkt := &network.Packet{
+		Kind: network.WriteReq, Src: c.Port, Dst: c.modFor(addr),
+		Addr: addr, Tag: tagKindStore, Issue: cycle,
+	}
+	return c.offerStore(pkt)
+}
+
+func (c *CE) retryStores() {
+	for len(c.pendingStores) > 0 {
+		if !c.fwd.Offer(c.pendingStores[0]) {
+			return
+		}
+		c.storesOutstanding++
+		copy(c.pendingStores, c.pendingStores[1:])
+		c.pendingStores = c.pendingStores[:len(c.pendingStores)-1]
+	}
+}

@@ -1,0 +1,300 @@
+package ce
+
+import (
+	"math"
+	"testing"
+
+	"cedar/internal/cache"
+	"cedar/internal/cmem"
+	"cedar/internal/gmem"
+	"cedar/internal/network"
+	"cedar/internal/params"
+	"cedar/internal/sim"
+)
+
+// rig assembles one cluster's worth of CEs with real fabrics, global
+// memory, cache and cluster memory.
+type rig struct {
+	p   params.Machine
+	eng *sim.Engine
+	ces []*CE
+	mem *gmem.Memory
+	cch *cache.Cache
+	cm  *cmem.Memory
+}
+
+func newRig(t *testing.T, nCE int) *rig {
+	t.Helper()
+	p := params.Default()
+	fwd := network.NewOmega(network.OmegaConfig{Name: "fwd", Ports: p.NetPorts, Radix: p.NetRadix, QueueWords: p.NetQueueWords})
+	rev := network.NewOmega(network.OmegaConfig{Name: "rev", Ports: p.NetPorts, Radix: p.NetRadix, QueueWords: p.NetQueueWords})
+	mem := gmem.New(p, fwd, rev, nil)
+	cm := cmem.New(p.CMemWordsPerCyc, p.CMemLatency, nil)
+	cch := cache.New(p, p.CEsPerCluster, cm)
+	r := &rig{p: p, eng: sim.New(), mem: mem, cch: cch, cm: cm}
+	for i := 0; i < nCE; i++ {
+		c := New(p, i, 0, i%p.CEsPerCluster, i, fwd, rev, cch, mem.ModuleFor)
+		r.ces = append(r.ces, c)
+		r.eng.Register(c)
+	}
+	r.eng.Register(
+		sim.Func{ID: "cache", F: func(cy int64) { cch.Tick(cy); cm.Tick(cy) }},
+		fwd, mem, rev,
+	)
+	return r
+}
+
+func (r *rig) run(t *testing.T, limit int64) {
+	t.Helper()
+	if err := r.eng.RunUntil(func() bool {
+		for _, c := range r.ces {
+			if !c.Idle() {
+				return false
+			}
+		}
+		return r.cch.Idle() && r.cm.Idle()
+	}, limit); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func prog(instrs ...*Instr) *Program { return &Program{Instrs: instrs} }
+
+func TestScalarTiming(t *testing.T) {
+	r := newRig(t, 1)
+	r.ces[0].SetController(prog(&Instr{Op: OpScalar, Cycles: 100, Flops: 50}))
+	r.run(t, 1000)
+	if got := r.ces[0].Flops(); got != 50 {
+		t.Errorf("flops = %d, want 50", got)
+	}
+	if cy := r.eng.Cycle(); cy < 100 || cy > 105 {
+		t.Errorf("scalar instr took %d cycles, want ≈100", cy)
+	}
+}
+
+func TestGlobalLoadThirteenCycles(t *testing.T) {
+	r := newRig(t, 1)
+	var doneAt int64 = -1
+	r.mem.Store().StoreWord(500, 31)
+	var got int64
+	r.ces[0].SetController(prog(&Instr{
+		Op: OpGlobalLoad, Addr: 500,
+		OnResult: func(v int64, _ bool, cy int64) { got = v; doneAt = cy },
+	}))
+	r.run(t, 1000)
+	if got != 31 {
+		t.Errorf("loaded %d, want 31", got)
+	}
+	// Issue happens during cycle 0; the full load latency is 13 cycles.
+	if doneAt != 13 {
+		t.Errorf("load completed at cycle %d, want 13", doneAt)
+	}
+}
+
+func TestSyncRoundTrip(t *testing.T) {
+	r := newRig(t, 1)
+	r.mem.Store().StoreWord(64, 5)
+	var got int64
+	var passed bool
+	r.ces[0].SetController(prog(&Instr{
+		Op: OpSync, Addr: 64, Test: network.TestGT, TestArg: 0,
+		Mut: network.OpSub, Value: 1,
+		OnResult: func(v int64, p bool, _ int64) { got = v; passed = p },
+	}))
+	r.run(t, 1000)
+	if got != 5 || !passed {
+		t.Errorf("sync returned %d/%v, want 5/true", got, passed)
+	}
+	if v := r.mem.Store().Load(64); v != 4 {
+		t.Errorf("location = %d, want 4", v)
+	}
+}
+
+func TestStoreAndFence(t *testing.T) {
+	r := newRig(t, 1)
+	r.ces[0].SetController(prog(
+		&Instr{Op: OpGlobalStore, Addr: 123, Value: 9},
+		&Instr{Op: OpFence},
+	))
+	r.run(t, 1000)
+	if v := r.mem.Store().Load(123); v != 9 {
+		t.Errorf("stored %d, want 9", v)
+	}
+}
+
+// vecRate runs a single-CE vector op and returns achieved flops/cycle.
+func vecRate(t *testing.T, in *Instr) float64 {
+	r := newRig(t, 1)
+	r.ces[0].SetController(prog(in))
+	r.run(t, 2_000_000)
+	return float64(r.ces[0].Flops()) / float64(r.eng.Cycle())
+}
+
+func TestVectorRegisterOnlyNearPeak(t *testing.T) {
+	// Pure register-register vector work: 2 flops/cycle minus startup.
+	rate := vecRate(t, &Instr{Op: OpVector, N: 320, Flops: 2})
+	// Effective peak with startup 12 per 32-strip: 2 * 32/44 = 1.45.
+	if rate < 1.3 || rate > 1.6 {
+		t.Errorf("register-vector rate %.3f flops/cycle, want ≈1.45", rate)
+	}
+}
+
+func TestVectorGlobalNoPrefetchMatchesPaperAnchor(t *testing.T) {
+	// GM/no-pref: 2 outstanding × 13-cycle latency ⇒ 0.154 words/cycle ⇒
+	// with 2 chained flops/word ≈ 0.31 flops/cycle ≈ 1.81 MFLOPS —
+	// the Table 1 anchor (14.5 MFLOPS on 8 CEs).
+	rate := vecRate(t, &Instr{
+		Op: OpVector, N: 256, Flops: 2,
+		Srcs: []Stream{{Space: SpaceGlobal, Base: 0, Stride: 1}},
+	})
+	mflops := rate * params.CyclesPerSecond / 1e6
+	if math.Abs(mflops-1.81) > 0.25 {
+		t.Errorf("GM/no-pref = %.2f MFLOPS/CE, want ≈1.81", mflops)
+	}
+}
+
+func TestVectorGlobalPrefetchStreams(t *testing.T) {
+	// GM/pref with large blocks: consumption near 1 word/cycle ⇒ close
+	// to 2 flops/cycle minus startup and block re-arm bubbles.
+	rate := vecRate(t, &Instr{
+		Op: OpVector, N: 512, Flops: 2,
+		Srcs: []Stream{{Space: SpaceGlobal, Base: 0, Stride: 1, PrefBlock: 256}},
+	})
+	mflops := rate * params.CyclesPerSecond / 1e6
+	if mflops < 6.0 {
+		t.Errorf("GM/pref = %.2f MFLOPS/CE, want > 6 (prefetch must stream)", mflops)
+	}
+	// Paper: prefetch gains ≈3.5× over no-pref on one cluster.
+	if gain := mflops / 1.81; gain < 3.0 || gain > 6.0 {
+		t.Errorf("prefetch gain %.2f×, want ≈3.5×", gain)
+	}
+}
+
+func TestVectorSmallPrefetchBlocksSlower(t *testing.T) {
+	big := vecRate(t, &Instr{
+		Op: OpVector, N: 512, Flops: 2,
+		Srcs: []Stream{{Space: SpaceGlobal, Stride: 1, PrefBlock: 256}},
+	})
+	small := vecRate(t, &Instr{
+		Op: OpVector, N: 512, Flops: 2,
+		Srcs: []Stream{{Space: SpaceGlobal, Stride: 1, PrefBlock: 32}},
+	})
+	if small >= big {
+		t.Errorf("32-word blocks (%.3f) not slower than 256-word blocks (%.3f)", small, big)
+	}
+	if small < big*0.5 {
+		t.Errorf("32-word blocks (%.3f) implausibly slow vs %.3f", small, big)
+	}
+}
+
+func TestVectorClusterCached(t *testing.T) {
+	// Cluster-space stream: after the first touch the line is resident;
+	// a second pass runs at cache speed.
+	r := newRig(t, 1)
+	stream := Stream{Space: SpaceCluster, Base: 0, Stride: 1}
+	r.ces[0].SetController(prog(
+		&Instr{Op: OpVector, N: 256, Flops: 0, Srcs: []Stream{stream}},
+	))
+	r.run(t, 1_000_000)
+	warm := r.eng.Cycle()
+	_ = warm
+	r2 := newRig(t, 1)
+	r2.ces[0].SetController(prog(
+		&Instr{Op: OpVector, N: 256, Flops: 0, Srcs: []Stream{stream}},
+		&Instr{Op: OpVector, N: 256, Flops: 2, Srcs: []Stream{stream}},
+	))
+	r2.run(t, 1_000_000)
+	rate := float64(r2.ces[0].Flops()) / float64(r2.eng.Cycle())
+	// Second pass runs at cache speed; the cold fill pass dilutes the
+	// average over both passes.
+	if rate < 0.4 {
+		t.Errorf("cached cluster rate %.3f flops/cycle over both passes, want > 0.4", rate)
+	}
+}
+
+func TestVectorGlobalStoreWritesValues(t *testing.T) {
+	r := newRig(t, 1)
+	r.ces[0].SetController(prog(
+		&Instr{Op: OpVector, N: 64, Flops: 1,
+			Dst: &Stream{Space: SpaceGlobal, Base: 9000, Stride: 1}},
+		&Instr{Op: OpFence},
+	))
+	r.run(t, 100000)
+	// Timing-only store data (zero), but the ack count must balance.
+	if r.ces[0].storesOutstanding != 0 {
+		t.Errorf("%d store acks missing", r.ces[0].storesOutstanding)
+	}
+}
+
+func TestEightCEsShareMemorySystem(t *testing.T) {
+	// 8 CEs each streaming prefetched loads: aggregate limited by the
+	// network/memory, so per-CE rate dips below the solo rate.
+	solo := vecRate(t, &Instr{
+		Op: OpVector, N: 512, Flops: 2,
+		Srcs: []Stream{{Space: SpaceGlobal, Stride: 1, PrefBlock: 256}},
+	})
+	r := newRig(t, 8)
+	for i, c := range r.ces {
+		base := uint64(i * 4096)
+		c.SetController(prog(&Instr{
+			Op: OpVector, N: 512, Flops: 2,
+			Srcs: []Stream{{Space: SpaceGlobal, Base: base, Stride: 1, PrefBlock: 256}},
+		}))
+	}
+	r.run(t, 2_000_000)
+	var total int64
+	for _, c := range r.ces {
+		total += c.Flops()
+	}
+	per := float64(total) / float64(r.eng.Cycle()) / 8
+	if per > solo {
+		t.Errorf("per-CE rate %.3f with 8 CEs exceeds solo %.3f", per, solo)
+	}
+	if per < solo*0.3 {
+		t.Errorf("per-CE rate %.3f collapsed vs solo %.3f", per, solo)
+	}
+}
+
+func TestProgramControllerSequences(t *testing.T) {
+	r := newRig(t, 2)
+	order := make(map[int][]int)
+	mk := func(ce, tag int) *Instr {
+		return &Instr{Op: OpScalar, Cycles: 1, OnDone: func(int64) {
+			order[ce] = append(order[ce], tag)
+		}}
+	}
+	r.ces[0].SetController(prog(mk(0, 1), mk(0, 2), mk(0, 3)))
+	r.ces[1].SetController(prog(mk(1, 10), mk(1, 20)))
+	r.run(t, 1000)
+	if len(order[0]) != 3 || order[0][0] != 1 || order[0][2] != 3 {
+		t.Errorf("ce0 order = %v", order[0])
+	}
+	if len(order[1]) != 2 || order[1][1] != 20 {
+		t.Errorf("ce1 order = %v", order[1])
+	}
+}
+
+func TestVectorValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		in   *Instr
+	}{
+		{"zero N", &Instr{Op: OpVector, N: 0}},
+		{"pref cluster", &Instr{Op: OpVector, N: 4, Srcs: []Stream{{Space: SpaceCluster, PrefBlock: 8}}}},
+		{"two PFUs", &Instr{Op: OpVector, N: 4, Srcs: []Stream{
+			{Space: SpaceGlobal, PrefBlock: 8}, {Space: SpaceGlobal, PrefBlock: 8}}}},
+		{"huge unprefetched", &Instr{Op: OpVector, N: 1 << 17, Srcs: []Stream{{Space: SpaceGlobal}}}},
+	}
+	for _, tc := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", tc.name)
+				}
+			}()
+			r := newRig(t, 1)
+			r.ces[0].SetController(prog(tc.in))
+			r.eng.Run(10)
+		}()
+	}
+}

@@ -1,0 +1,58 @@
+package cfrt
+
+import "cedar/internal/perfmon"
+
+// Event kinds the runtime posts to an attached tracer — the paper's
+// software event tracing ("It is also possible to post events to the
+// performance hardware from programs executing on Cedar").
+const (
+	// EvPhaseEnter: a CE entered phase Value.
+	EvPhaseEnter uint16 = iota + 1
+	// EvClaim: a CE claimed iteration Value.
+	EvClaim
+	// EvBarrierArrive: a CE arrived at the phase-Value barrier.
+	EvBarrierArrive
+	// EvBarrierPass: a CE passed the phase-Value barrier.
+	EvBarrierPass
+	// EvCDStart: a cluster master broadcast a CDOALL of Value iterations.
+	EvCDStart
+	// EvCDJoin: a CE completed a cluster join.
+	EvCDJoin
+)
+
+// EventName renders a runtime event kind.
+func EventName(kind uint16) string {
+	switch kind {
+	case EvPhaseEnter:
+		return "phase-enter"
+	case EvClaim:
+		return "claim"
+	case EvBarrierArrive:
+		return "barrier-arrive"
+	case EvBarrierPass:
+		return "barrier-pass"
+	case EvCDStart:
+		return "cdoall-start"
+	case EvCDJoin:
+		return "cdoall-join"
+	}
+	return "unknown"
+}
+
+// SetTracer attaches a perfmon tracer; nil detaches. Events are posted
+// with the participant's CE id and the cycle at which the triggering
+// instruction completed.
+func (r *Runtime) SetTracer(tr *perfmon.Tracer) { r.tracer = tr }
+
+// post records a runtime event if a tracer is attached.
+func (r *Runtime) post(ci int, cycle int64, kind uint16, value int64) {
+	if r.tracer == nil {
+		return
+	}
+	r.tracer.Post(perfmon.Event{
+		Cycle: cycle,
+		Kind:  kind,
+		CE:    int32(r.ces[ci].ID),
+		Value: value,
+	})
+}

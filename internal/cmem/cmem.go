@@ -1,0 +1,103 @@
+// Package cmem models an Alliant FX/8 cluster memory: the interleaved
+// memory behind a cluster's shared cache. Its bandwidth is half the cache
+// bandwidth (192 MB/s vs 384 MB/s per cluster in the paper's terms, i.e.
+// 4 vs 8 words per instruction cycle).
+//
+// The model is a pipelined word server: requests are granted word credits
+// at wordsPerCyc per cycle and complete latency cycles after their last
+// word is granted. Cache line fills and write-backs are its only clients;
+// CEs reach cluster memory through the cache.
+package cmem
+
+import "cedar/internal/gmem"
+
+// Memory is one cluster's memory.
+type Memory struct {
+	wordsPerCyc int
+	latency     int64
+	data        *gmem.Store
+
+	queue   []pending
+	firing  []firing
+	busyCnt int64
+}
+
+type pending struct {
+	remaining int
+	done      func(int64)
+}
+
+type firing struct {
+	at   int64
+	done func(int64)
+}
+
+// New builds a cluster memory with the given bandwidth (words/cycle) and
+// access latency (cycles). A nil store allocates a fresh one.
+func New(wordsPerCyc int, latency int, data *gmem.Store) *Memory {
+	if data == nil {
+		data = gmem.NewStore()
+	}
+	if wordsPerCyc < 1 {
+		wordsPerCyc = 1
+	}
+	return &Memory{wordsPerCyc: wordsPerCyc, latency: int64(latency), data: data}
+}
+
+// Store returns the backdoor store.
+func (m *Memory) Store() *gmem.Store { return m.data }
+
+// Submit enqueues a transfer of words; done is invoked during the Tick in
+// which the transfer completes. There is no back-pressure: the queue is
+// the cache's miss traffic, already bounded by MSHR limits upstream.
+func (m *Memory) Submit(words int, done func(cycle int64)) {
+	if words < 1 {
+		words = 1
+	}
+	m.queue = append(m.queue, pending{remaining: words, done: done})
+}
+
+// Idle reports whether no transfers are queued or completing.
+func (m *Memory) Idle() bool { return len(m.queue) == 0 && len(m.firing) == 0 }
+
+// BusyCycles reports cycles with a non-empty queue, a utilization proxy.
+func (m *Memory) BusyCycles() int64 { return m.busyCnt }
+
+// Tick grants word credits to the queue head(s) and fires due completions.
+func (m *Memory) Tick(cycle int64) {
+	// Fire completions that are due. The list stays short (bounded by
+	// upstream MSHRs), so a linear scan is fine and keeps order stable.
+	if len(m.firing) > 0 {
+		keep := m.firing[:0]
+		for _, f := range m.firing {
+			if f.at <= cycle {
+				f.done(cycle)
+			} else {
+				keep = append(keep, f)
+			}
+		}
+		m.firing = keep
+	}
+
+	if len(m.queue) == 0 {
+		return
+	}
+	m.busyCnt++
+	credit := m.wordsPerCyc
+	for credit > 0 && len(m.queue) > 0 {
+		h := &m.queue[0]
+		take := h.remaining
+		if take > credit {
+			take = credit
+		}
+		h.remaining -= take
+		credit -= take
+		if h.remaining == 0 {
+			if h.done != nil {
+				m.firing = append(m.firing, firing{at: cycle + m.latency, done: h.done})
+			}
+			copy(m.queue, m.queue[1:])
+			m.queue = m.queue[:len(m.queue)-1]
+		}
+	}
+}

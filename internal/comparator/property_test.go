@@ -1,0 +1,81 @@
+package comparator
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestYMPMonotonicityProperties(t *testing.T) {
+	y := NewYMP8()
+	// More vectorization never slows the one-processor run; more
+	// parallel coverage never slows the multiprocessor run.
+	f := func(v1, v2, p1, p2 uint8) bool {
+		va, vb := float64(v1%100)/100, float64(v2%100)/100
+		if va > vb {
+			va, vb = vb, va
+		}
+		pa, pb := float64(p1%100)/100, float64(p2%100)/100
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		base := CodeSummary{Flops: 1e9, VecFrac: va, ParAutoFrac: pa}
+		moreVec := base
+		moreVec.VecFrac = vb
+		morePar := base
+		morePar.ParAutoFrac = pb
+		return y.OneProcSeconds(moreVec) <= y.OneProcSeconds(base)+1e-12 &&
+			y.AutoSeconds(morePar) <= y.AutoSeconds(base)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestYMPEfficiencyBounds(t *testing.T) {
+	y := NewYMP8()
+	f := func(v, pa uint8) bool {
+		c := CodeSummary{Flops: 1e9,
+			VecFrac:     float64(v%101) / 100,
+			ParAutoFrac: float64(pa%101) / 100,
+		}
+		e := y.RestructuringEfficiency(c)
+		return e >= 1.0/float64(y.Procs)-1e-12 && e <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCM5RateBounds(t *testing.T) {
+	c := NewCM5()
+	f := func(nRaw uint32, bwSel, pSel uint8) bool {
+		n := int(nRaw%1_000_000) + 1000
+		bw := []int{3, 5, 7, 11}[bwSel%4]
+		p := []int{32, 64, 256, 512}[pSel%4]
+		mf := c.BandedMFLOPS(n, bw, p)
+		// Aggregate rate is positive and below the partition's compute
+		// peak.
+		return mf > 0 && mf <= float64(p)*c.NodeMFLOPS+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCM5EfficiencyMonotoneInN(t *testing.T) {
+	c := NewCM5()
+	f := func(aRaw, bRaw uint32, pSel uint8) bool {
+		a := int(aRaw%500_000) + 1000
+		b := int(bRaw%500_000) + 1000
+		if a > b {
+			a, b = b, a
+		}
+		p := []int{32, 256, 512}[pSel%3]
+		// Bigger problems amortize the fixed latency: efficiency is
+		// non-decreasing in N.
+		return c.BandedEfficiency(b, 11, p) >= c.BandedEfficiency(a, 11, p)-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

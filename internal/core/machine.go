@@ -1,0 +1,229 @@
+// Package core assembles the Cedar machine: four (or a configured number
+// of) slightly modified Alliant FX/8 clusters — each with eight CEs, a
+// shared four-way interleaved cache, a cluster memory and a concurrency
+// control bus — connected through two unidirectional multistage
+// shuffle-exchange networks to a globally shared memory whose modules
+// carry synchronization processors.
+//
+// core is the paper's primary artifact. Everything else in internal/ is a
+// subsystem of this machine or an instrument pointed at it.
+package core
+
+import (
+	"fmt"
+
+	"cedar/internal/cache"
+	"cedar/internal/ccbus"
+	"cedar/internal/ce"
+	"cedar/internal/cmem"
+	"cedar/internal/gmem"
+	"cedar/internal/network"
+	"cedar/internal/params"
+	"cedar/internal/perfmon"
+	"cedar/internal/sim"
+)
+
+// FabricKind selects the interconnection network implementation.
+type FabricKind int
+
+// Supported fabrics.
+const (
+	// FabricOmega is Cedar's multistage shuffle-exchange network with
+	// shallow two-word port queues (the machine as built).
+	FabricOmega FabricKind = iota
+	// FabricCrossbar is an idealized non-blocking crossbar used for the
+	// [Turn93] ablation: same port bandwidth, no internal structure.
+	FabricCrossbar
+)
+
+// Options tune machine construction beyond the parameter set.
+type Options struct {
+	Fabric FabricKind
+	// QueueWords overrides params.NetQueueWords when > 0 (queue-depth
+	// ablation).
+	QueueWords int
+}
+
+// Cluster is one Alliant FX/8.
+type Cluster struct {
+	ID    int
+	Bus   *ccbus.Bus
+	Cache *cache.Cache
+	CMem  *cmem.Memory
+	CEs   []*ce.CE
+
+	nextLocal uint64
+}
+
+// AllocLocal reserves words of cluster memory and returns the base
+// address (cluster address spaces are private per cluster).
+func (c *Cluster) AllocLocal(words int) uint64 {
+	base := c.nextLocal
+	c.nextLocal += uint64(words)
+	return base
+}
+
+// Machine is a configured Cedar system.
+type Machine struct {
+	P        params.Machine
+	Engine   *sim.Engine
+	Fwd, Rev network.Fabric
+	Mem      *gmem.Memory
+	Clusters []*Cluster
+	CEs      []*ce.CE
+
+	nextGlobal uint64
+	flopsBase  int64
+}
+
+// New builds a machine. It returns an error for invalid parameter sets.
+func New(p params.Machine, opt Options) (*Machine, error) {
+	if opt.QueueWords > 0 {
+		p.NetQueueWords = opt.QueueWords
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+
+	var fwd, rev network.Fabric
+	switch opt.Fabric {
+	case FabricOmega:
+		fwd = network.NewOmega(network.OmegaConfig{Name: "fwd", Ports: p.NetPorts, Radix: p.NetRadix, QueueWords: p.NetQueueWords})
+		// The reverse network's egress ports empty into the CEs' 512-word
+		// prefetch buffers, which absorb reply bursts; the forward
+		// egress is a memory module's small input latch.
+		rev = network.NewOmega(network.OmegaConfig{Name: "rev", Ports: p.NetPorts, Radix: p.NetRadix, QueueWords: p.NetQueueWords, EgressWords: 64})
+	case FabricCrossbar:
+		// Latency matched to the omega's stage count for a fair ablation.
+		stages := 0
+		for n := p.NetPorts; n > 1; n /= p.NetRadix {
+			stages++
+		}
+		fwd = network.NewCrossbar("fwd", p.NetPorts, stages)
+		rev = network.NewCrossbar("rev", p.NetPorts, stages)
+	default:
+		return nil, fmt.Errorf("core: unknown fabric kind %d", opt.Fabric)
+	}
+
+	m := &Machine{P: p, Engine: sim.New(), Fwd: fwd, Rev: rev}
+	m.Mem = gmem.New(p, fwd, rev, nil)
+
+	for cl := 0; cl < p.Clusters; cl++ {
+		cm := cmem.New(p.CMemWordsPerCyc, p.CMemLatency, nil)
+		cc := cache.New(p, p.CEsPerCluster, cm)
+		cluster := &Cluster{
+			ID:    cl,
+			Bus:   ccbus.New(p, p.CEsPerCluster),
+			Cache: cc,
+			CMem:  cm,
+		}
+		// CEs are spread across the port space for the same reason the
+		// memory modules are: destination tags must exercise every
+		// switch output digit or reply traffic funnels through a few
+		// first-stage outputs.
+		ceStride := p.NetPorts / p.CEs()
+		if ceStride < 1 {
+			ceStride = 1
+		}
+		for i := 0; i < p.CEsPerCluster; i++ {
+			id := cl*p.CEsPerCluster + i
+			c := ce.New(p, id, cl, i, id*ceStride, fwd, rev, cc, m.Mem.ModuleFor)
+			cluster.CEs = append(cluster.CEs, c)
+			m.CEs = append(m.CEs, c)
+			m.Engine.Register(c)
+		}
+		m.Clusters = append(m.Clusters, cluster)
+		m.Engine.Register(sim.Func{
+			ID: fmt.Sprintf("cluster%d", cl),
+			F:  func(cy int64) { cc.Tick(cy); cm.Tick(cy) },
+		})
+	}
+	m.Engine.Register(fwd, m.Mem, rev)
+	return m, nil
+}
+
+// MustNew builds a machine from a known-good configuration.
+func MustNew(p params.Machine, opt Options) *Machine {
+	m, err := New(p, opt)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// AllocGlobal reserves words of global memory and returns the base word
+// address.
+func (m *Machine) AllocGlobal(words int) uint64 {
+	base := m.nextGlobal
+	m.nextGlobal += uint64(words)
+	return base
+}
+
+// AllocGlobalAligned reserves words starting at a multiple of align words.
+func (m *Machine) AllocGlobalAligned(words, align int) uint64 {
+	if align > 0 && m.nextGlobal%uint64(align) != 0 {
+		m.nextGlobal += uint64(align) - m.nextGlobal%uint64(align)
+	}
+	return m.AllocGlobal(words)
+}
+
+// AttachBlockStats wires a Table 2 style prefetch monitor to one CE, as
+// the paper did ("we monitored all requests of a single processor").
+func (m *Machine) AttachBlockStats(ceID int) *perfmon.BlockStats {
+	bs := perfmon.NewBlockStats()
+	m.CEs[ceID].PFU().SetObserver(bs.Observe)
+	return bs
+}
+
+// Result summarizes a program run.
+type Result struct {
+	Cycles  int64
+	Flops   int64
+	MFLOPS  float64
+	Seconds float64
+}
+
+// Run executes a controller on every CE until all are idle, returning
+// aggregate timing. The limit bounds runaway programs.
+func (m *Machine) Run(ctrl ce.Controller, limit int64) (Result, error) {
+	return m.RunOn(m.CEs, ctrl, limit)
+}
+
+// RunOn executes a controller on a subset of CEs (the others stay idle).
+func (m *Machine) RunOn(ces []*ce.CE, ctrl ce.Controller, limit int64) (Result, error) {
+	start := m.Engine.Cycle()
+	var flops0 int64
+	for _, c := range m.CEs {
+		flops0 += c.Flops()
+	}
+	for _, c := range ces {
+		c.SetController(ctrl)
+	}
+	err := m.Engine.RunUntil(func() bool {
+		for _, c := range ces {
+			if !c.Idle() {
+				return false
+			}
+		}
+		return true
+	}, limit)
+	if err != nil {
+		return Result{}, fmt.Errorf("core: program did not complete: %w", err)
+	}
+	// Let the memory system drain (stores in flight etc.).
+	if err := m.Engine.RunUntilIdle(100000); err != nil {
+		return Result{}, fmt.Errorf("core: drain: %w", err)
+	}
+	var flops int64
+	for _, c := range m.CEs {
+		flops += c.Flops()
+	}
+	cycles := m.Engine.Cycle() - start
+	r := Result{
+		Cycles:  cycles,
+		Flops:   flops - flops0,
+		Seconds: params.CyclesToSeconds(cycles),
+	}
+	r.MFLOPS = params.MFLOPS(r.Flops, r.Cycles)
+	return r, nil
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"testing"
+
+	"cedar/internal/ce"
+	"cedar/internal/params"
+)
+
+func TestNewDefaultMachine(t *testing.T) {
+	m, err := New(params.Default(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.CEs) != 32 {
+		t.Errorf("CEs = %d, want 32", len(m.CEs))
+	}
+	if len(m.Clusters) != 4 {
+		t.Errorf("clusters = %d, want 4", len(m.Clusters))
+	}
+	stride := m.P.NetPorts / m.P.CEs()
+	for i, c := range m.CEs {
+		if c.ID != i || c.Port != i*stride {
+			t.Errorf("CE %d has ID %d port %d, want port %d (spread wiring)", i, c.ID, c.Port, i*stride)
+		}
+		if c.Cluster != i/8 || c.IDInCluster != i%8 {
+			t.Errorf("CE %d cluster mapping %d/%d", i, c.Cluster, c.IDInCluster)
+		}
+	}
+}
+
+func TestNewRejectsInvalidParams(t *testing.T) {
+	p := params.Default()
+	p.Clusters = 0
+	if _, err := New(p, Options{}); err == nil {
+		t.Error("invalid params accepted")
+	}
+	if _, err := New(params.Default(), Options{Fabric: FabricKind(99)}); err == nil {
+		t.Error("unknown fabric accepted")
+	}
+}
+
+func TestAllocators(t *testing.T) {
+	m := MustNew(params.Default(), Options{})
+	a := m.AllocGlobal(100)
+	b := m.AllocGlobal(50)
+	if b != a+100 {
+		t.Errorf("global allocs overlap: %d then %d", a, b)
+	}
+	c := m.AllocGlobalAligned(10, 64)
+	if c%64 != 0 {
+		t.Errorf("aligned alloc at %d", c)
+	}
+	l1 := m.Clusters[0].AllocLocal(10)
+	l2 := m.Clusters[0].AllocLocal(10)
+	if l2 != l1+10 {
+		t.Errorf("local allocs overlap: %d then %d", l1, l2)
+	}
+	// Different clusters have independent address spaces.
+	o1 := m.Clusters[1].AllocLocal(10)
+	if o1 != l1 {
+		t.Errorf("cluster 1 first alloc at %d, want %d (independent space)", o1, l1)
+	}
+}
+
+func TestRunAggregatesFlops(t *testing.T) {
+	m := MustNew(params.Default(), Options{})
+	res, err := m.Run(&ce.Program{Instrs: []*ce.Instr{
+		{Op: ce.OpScalar, Cycles: 1000, Flops: 500},
+	}}, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flops != 32*500 {
+		t.Errorf("flops = %d, want %d", res.Flops, 32*500)
+	}
+	if res.MFLOPS <= 0 || res.Seconds <= 0 {
+		t.Errorf("bad derived metrics: %+v", res)
+	}
+}
+
+func TestRunOnSubset(t *testing.T) {
+	m := MustNew(params.Default(), Options{})
+	res, err := m.RunOn(m.Clusters[0].CEs, &ce.Program{Instrs: []*ce.Instr{
+		{Op: ce.OpScalar, Cycles: 100, Flops: 10},
+	}}, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flops != 8*10 {
+		t.Errorf("flops = %d, want 80", res.Flops)
+	}
+}
+
+func TestCrossbarFabricMachine(t *testing.T) {
+	m := MustNew(params.Default(), Options{Fabric: FabricCrossbar})
+	var got int64
+	m.Mem.Store().StoreWord(42, 7)
+	res, err := m.RunOn(m.CEs[:1], &ce.Program{Instrs: []*ce.Instr{
+		{Op: ce.OpGlobalLoad, Addr: 42, OnResult: func(v int64, _ bool, _ int64) { got = v }},
+	}}, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 7 {
+		t.Errorf("crossbar load = %d, want 7", got)
+	}
+	if res.Cycles > 30 {
+		t.Errorf("crossbar scalar load took %d cycles", res.Cycles)
+	}
+}
+
+func TestScaledMachine(t *testing.T) {
+	m := MustNew(params.Scaled(8), Options{})
+	if len(m.CEs) != 64 {
+		t.Errorf("scaled CEs = %d, want 64", len(m.CEs))
+	}
+	res, err := m.Run(&ce.Program{Instrs: []*ce.Instr{
+		{Op: ce.OpScalar, Cycles: 10, Flops: 1},
+	}}, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flops != 64 {
+		t.Errorf("flops = %d, want 64", res.Flops)
+	}
+}
+
+func TestAttachBlockStats(t *testing.T) {
+	m := MustNew(params.Default(), Options{})
+	bs := m.AttachBlockStats(0)
+	_, err := m.RunOn(m.CEs[:1], &ce.Program{Instrs: []*ce.Instr{
+		{Op: ce.OpVector, N: 64, Flops: 2,
+			Srcs: []ce.Stream{{Space: ce.SpaceGlobal, Stride: 1, PrefBlock: 32}}},
+	}}, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.CEs[0].PFU().Finish()
+	if bs.Blocks() < 2 {
+		t.Errorf("observed %d blocks, want ≥ 2 (64 elements in 32-word blocks)", bs.Blocks())
+	}
+	if bs.MinLatency() < 8 {
+		t.Errorf("min latency %d below hardware floor", bs.MinLatency())
+	}
+}

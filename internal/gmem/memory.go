@@ -1,0 +1,193 @@
+package gmem
+
+import (
+	"fmt"
+
+	"cedar/internal/network"
+	"cedar/internal/params"
+)
+
+// Memory is the global shared memory system: MemModules interleaved
+// modules. Consecutive 8-byte words map to consecutive modules
+// (double-word interleaving). When the network has more ports than
+// modules, modules are spread across the port space (module i on port
+// i·(ports/modules)) so the destination tags exercise every switch output
+// digit — the wiring choice that keeps a 32-module system from funnelling
+// all traffic through a quarter of a 64-port network's first-stage
+// outputs.
+//
+// Each module initiates at most one request per MemService cycles, holds a
+// pipeline of accesses completing MemLatency cycles after initiation
+// (SyncOpLatency more for synchronization instructions), and retires one
+// reply per cycle into the reverse network, with back-pressure stalling
+// initiation when replies bank up.
+type Memory struct {
+	p          params.Machine
+	fwd        network.Fabric
+	rev        network.Fabric
+	data       *Store
+	mods       []module
+	portStride int
+
+	stats Stats
+}
+
+// Stats holds cumulative memory-system counters.
+type Stats struct {
+	Reads   int64
+	Writes  int64
+	SyncOps int64
+	Stalls  int64 // initiation stalls due to reply back-pressure
+	BusyCyc int64 // module-cycles spent with the pipeline non-empty
+}
+
+type inflight struct {
+	pkt  *network.Packet
+	done int64
+}
+
+type module struct {
+	nextInit int64 // earliest cycle the module may initiate a request
+	pipe     []inflight
+	out      []*network.Packet // replies awaiting the reverse network
+}
+
+// outCap bounds banked-up replies before a module stalls initiation; it
+// models the module's reply staging buffer.
+const outCap = 4
+
+// New builds the memory system over the given fabrics. The store is shared
+// backdoor state: runtime code may Peek/Poke it directly for setup.
+func New(p params.Machine, fwd, rev network.Fabric, data *Store) *Memory {
+	if data == nil {
+		data = NewStore()
+	}
+	stride := 1
+	if fwd != nil && fwd.Ports() > p.MemModules {
+		stride = fwd.Ports() / p.MemModules
+	}
+	return &Memory{
+		p:          p,
+		fwd:        fwd,
+		rev:        rev,
+		data:       data,
+		mods:       make([]module, p.MemModules),
+		portStride: stride,
+	}
+}
+
+// Name implements sim.Component.
+func (m *Memory) Name() string { return "gmem" }
+
+// Idle implements sim.Idler.
+func (m *Memory) Idle() bool {
+	for i := range m.mods {
+		md := &m.mods[i]
+		if len(md.pipe) > 0 || len(md.out) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Stats returns cumulative counters.
+func (m *Memory) Stats() Stats { return m.stats }
+
+// Store returns the backdoor store.
+func (m *Memory) Store() *Store { return m.data }
+
+// ModuleFor returns the fabric port of the module serving a word address.
+func (m *Memory) ModuleFor(addr uint64) int {
+	return int(addr%uint64(m.p.MemModules)) * m.portStride
+}
+
+// PortOf returns the fabric port of module i.
+func (m *Memory) PortOf(i int) int { return i * m.portStride }
+
+// Tick implements sim.Component.
+func (m *Memory) Tick(cycle int64) {
+	for i := range m.mods {
+		m.tickModule(i, cycle)
+	}
+}
+
+func (m *Memory) tickModule(i int, cycle int64) {
+	md := &m.mods[i]
+	if len(md.pipe) > 0 {
+		m.stats.BusyCyc++
+	}
+
+	// Retire completed accesses into the reply stage.
+	for len(md.pipe) > 0 && md.pipe[0].done <= cycle && len(md.out) < outCap {
+		md.out = append(md.out, m.execute(md.pipe[0].pkt))
+		copy(md.pipe, md.pipe[1:])
+		md.pipe = md.pipe[:len(md.pipe)-1]
+	}
+
+	// Offer one reply per cycle to the reverse network.
+	if len(md.out) > 0 {
+		if m.rev.Offer(md.out[0]) {
+			copy(md.out, md.out[1:])
+			md.out = md.out[:len(md.out)-1]
+		}
+	}
+
+	// Initiate a new request if the pipeline and reply stage allow.
+	if cycle < md.nextInit {
+		return
+	}
+	if len(md.out) >= outCap {
+		m.stats.Stalls++
+		return
+	}
+	pkt := m.fwd.Peek(m.PortOf(i))
+	if pkt == nil {
+		return
+	}
+	lat := int64(m.p.MemLatency)
+	switch pkt.Kind {
+	case network.ReadReq:
+		m.stats.Reads++
+	case network.WriteReq:
+		m.stats.Writes++
+	case network.SyncReq:
+		m.stats.SyncOps++
+		lat += int64(m.p.SyncOpLatency)
+	default:
+		panic(fmt.Sprintf("gmem: unexpected packet kind %v at module %d", pkt.Kind, i))
+	}
+	m.fwd.Poll(m.PortOf(i))
+	md.pipe = append(md.pipe, inflight{pkt: pkt, done: cycle + lat})
+	md.nextInit = cycle + int64(m.p.MemService)
+}
+
+// execute performs the semantic effect of a request and turns the packet
+// into its own reply (the request has left the forward network and is
+// owned by the module, so reuse is safe and halves packet allocations on
+// the simulator's hottest path). Mutations happen at retire time; because
+// each address belongs to exactly one module and a module retires
+// serially, read-modify-write operations are indivisible, exactly as the
+// hardware synchronization processors guarantee.
+func (m *Memory) execute(req *network.Packet) *network.Packet {
+	reply := req
+	reply.Src, reply.Dst = req.Dst, req.Src
+	reply.TestPassed = false
+	switch req.Kind {
+	case network.ReadReq:
+		reply.Kind = network.ReadReply
+		reply.Value = m.data.Load(req.Addr)
+	case network.WriteReq:
+		m.data.StoreWord(req.Addr, req.Value)
+		reply.Kind = network.WriteAck
+		reply.Value = 0
+	case network.SyncReq:
+		old := m.data.Load(req.Addr)
+		if req.Test.Eval(old, req.TestArg) {
+			reply.TestPassed = true
+			m.data.StoreWord(req.Addr, req.Mut.Apply(old, req.Value))
+		}
+		reply.Kind = network.SyncReply
+		reply.Value = old
+	}
+	return reply
+}

@@ -1,0 +1,123 @@
+package kernels
+
+import (
+	"cedar/internal/ce"
+	"cedar/internal/cfrt"
+	"cedar/internal/core"
+	"cedar/internal/network"
+)
+
+// CGConfig configures the conjugate gradient kernel.
+type CGConfig struct {
+	N     int // vector length (paper: 1K ≤ N ≤ 172K)
+	Iters int // CG iterations to run
+	// MaxCEs restricts the processor count (paper: 2..32); 0 = all.
+	MaxCEs int
+}
+
+// CG runs a simple conjugate gradient solver on a 5-diagonal system of
+// order N (§4.3, the PPT4 scalability study). Each iteration performs the
+// 5-diagonal matrix-vector product, two reduction dot products through the
+// synchronization processors, and the vector updates; multicluster
+// barriers separate the reduction from the updates.
+//
+// Flops per iteration ≈ 19·N: 9 in the matvec, 4 in the dots, 6 in the
+// AXPY updates.
+func CG(m *core.Machine, cfg CGConfig) (Result, error) {
+	n := cfg.N
+	diag := make([]uint64, 5)
+	for i := range diag {
+		diag[i] = m.AllocGlobalAligned(n, 64)
+	}
+	pBase := m.AllocGlobalAligned(n, 64)
+	qBase := m.AllocGlobalAligned(n, 64)
+	xBase := m.AllocGlobalAligned(n, 64)
+	rBase := m.AllocGlobalAligned(n, 64)
+	accum := m.AllocGlobal(2)
+
+	p := len(m.CEs)
+	if cfg.MaxCEs > 0 && cfg.MaxCEs < p {
+		p = cfg.MaxCEs
+	}
+
+	part := func(i int) (lo, cnt int) {
+		lo = i * n / p
+		return lo, (i+1)*n/p - lo
+	}
+	gstream := func(base uint64, lo int) ce.Stream {
+		return ce.Stream{Space: ce.SpaceGlobal, Base: base + uint64(lo), Stride: 1, PrefBlock: 32}
+	}
+
+	// Phase A: q = A·p (5-diagonal), then partial dot p·q accumulated on
+	// the synchronization processor.
+	matvecBody := func(i int) []*ce.Instr {
+		lo, cnt := part(i)
+		if cnt <= 0 {
+			return nil
+		}
+		ins := []*ce.Instr{
+			// Load p into registers.
+			{Op: ce.OpVector, N: cnt, Flops: 0, Srcs: []ce.Stream{gstream(pBase, lo)}},
+		}
+		// Five diagonal sweeps: multiply-add chains; the last carries the
+		// final register-register adds.
+		flops := []int64{2, 2, 2, 2, 1}
+		for d := 0; d < 5; d++ {
+			ins = append(ins, &ce.Instr{
+				Op: ce.OpVector, N: cnt, Flops: flops[d],
+				Srcs: []ce.Stream{gstream(diag[d], lo)},
+			})
+		}
+		ins = append(ins,
+			// Store q.
+			&ce.Instr{Op: ce.OpVector, N: cnt, Flops: 0,
+				Dst: &ce.Stream{Space: ce.SpaceGlobal, Base: qBase + uint64(lo), Stride: 1}},
+			// Local part of p·q: q still flowing through registers.
+			&ce.Instr{Op: ce.OpVector, N: cnt, Flops: 2},
+			// Accumulate the partial sum at the memory module.
+			&ce.Instr{Op: ce.OpSync, Addr: accum,
+				Test: network.TestAlways, Mut: network.OpAdd, Value: 1},
+		)
+		return ins
+	}
+
+	// Phase B: x += αp, r -= αq, r·r reduction, p = r + βp.
+	updateBody := func(i int) []*ce.Instr {
+		lo, cnt := part(i)
+		if cnt <= 0 {
+			return nil
+		}
+		return []*ce.Instr{
+			// x update: load x, AXPY with p (registers), store x.
+			{Op: ce.OpVector, N: cnt, Flops: 2,
+				Srcs: []ce.Stream{gstream(xBase, lo)},
+				Dst:  &ce.Stream{Space: ce.SpaceGlobal, Base: xBase + uint64(lo), Stride: 1}},
+			// r update: load r and q.
+			{Op: ce.OpVector, N: cnt, Flops: 0, Srcs: []ce.Stream{gstream(qBase, lo)}},
+			{Op: ce.OpVector, N: cnt, Flops: 2,
+				Srcs: []ce.Stream{gstream(rBase, lo)},
+				Dst:  &ce.Stream{Space: ce.SpaceGlobal, Base: rBase + uint64(lo), Stride: 1}},
+			// r·r: register-register.
+			{Op: ce.OpVector, N: cnt, Flops: 2},
+			{Op: ce.OpSync, Addr: accum + 1,
+				Test: network.TestAlways, Mut: network.OpAdd, Value: 1},
+			// p = r + βp, store p.
+			{Op: ce.OpVector, N: cnt, Flops: 2,
+				Dst: &ce.Stream{Space: ce.SpaceGlobal, Base: pBase + uint64(lo), Stride: 1}},
+		}
+	}
+
+	var phases []cfrt.Phase
+	for it := 0; it < cfg.Iters; it++ {
+		phases = append(phases,
+			cfrt.XDoall{N: p, Static: true, Body: matvecBody},
+			cfrt.XDoall{N: p, Static: true, Body: updateBody},
+		)
+	}
+	return run(m, cfrt.Config{UseCedarSync: true, MaxCEs: cfg.MaxCEs}, 1<<40, phases...)
+}
+
+// CGFlops returns the nominal flop count of a CG run, for rate checks.
+func CGFlops(cfg CGConfig) int64 {
+	return int64(cfg.Iters) * int64(cfg.N) * 19
+}

@@ -1,0 +1,130 @@
+package network
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Omega networks of different radices and depths must all satisfy the
+// routing, conservation and FIFO properties; Cedar's 8×8/2-stage build is
+// one point in the family.
+func TestOmegaOtherConfigsRoute(t *testing.T) {
+	configs := []OmegaConfig{
+		{Name: "radix2-16", Ports: 16, Radix: 2, QueueWords: 2},   // 4 stages
+		{Name: "radix4-64", Ports: 64, Radix: 4, QueueWords: 2},   // 3 stages
+		{Name: "radix8-512", Ports: 512, Radix: 8, QueueWords: 2}, // 3 stages
+		{Name: "radix16-256", Ports: 256, Radix: 16, QueueWords: 4},
+	}
+	for _, cfg := range configs {
+		cfg := cfg
+		t.Run(cfg.Name, func(t *testing.T) {
+			o := NewOmega(cfg)
+			rng := rand.New(rand.NewSource(7))
+			// Random (src,dst) pairs rather than the full cross product
+			// for the big fabrics.
+			pairs := cfg.Ports * 4
+			sent := 0
+			recv := 0
+			cycle := int64(0)
+			for recv < pairs {
+				if sent < pairs {
+					p := &Packet{Kind: ReadReq,
+						Src: rng.Intn(cfg.Ports), Dst: rng.Intn(cfg.Ports)}
+					p.Tag = uint32(p.Dst)
+					if o.Offer(p) {
+						sent++
+					}
+				}
+				o.Tick(cycle)
+				for port := 0; port < cfg.Ports; port++ {
+					for {
+						p := o.Poll(port)
+						if p == nil {
+							break
+						}
+						if p.Dst != port || int(p.Tag) != port {
+							t.Fatalf("misdelivery at %d: %v", port, p)
+						}
+						recv++
+					}
+				}
+				cycle++
+				if cycle > 2_000_000 {
+					t.Fatalf("stalled: sent %d recv %d", sent, recv)
+				}
+			}
+			if !o.Idle() {
+				t.Error("fabric not idle after draining")
+			}
+		})
+	}
+}
+
+// The ideal crossbar and the omega must deliver exactly the same multiset
+// of packets for any traffic pattern — they differ only in timing.
+func TestCrossbarOmegaDeliveryEquivalence(t *testing.T) {
+	const ports = 64
+	gen := func() []*Packet {
+		rng := rand.New(rand.NewSource(99))
+		var pkts []*Packet
+		for i := 0; i < 800; i++ {
+			kind := ReadReq
+			if rng.Intn(4) == 0 {
+				kind = WriteReq
+			}
+			pkts = append(pkts, &Packet{Kind: kind,
+				Src: rng.Intn(ports), Dst: rng.Intn(ports), Tag: uint32(i)})
+		}
+		return pkts
+	}
+	collect := func(f Fabric) map[uint32]int {
+		pkts := gen()
+		got := map[uint32]int{}
+		next := 0
+		cycle := int64(0)
+		n := 0
+		for n < len(pkts) {
+			if next < len(pkts) && f.Offer(pkts[next]) {
+				next++
+			}
+			f.Tick(cycle)
+			for port := 0; port < ports; port++ {
+				for {
+					p := f.Poll(port)
+					if p == nil {
+						break
+					}
+					if p.Dst != port {
+						t.Fatalf("%s misdelivered %v at %d", f.Name(), p, port)
+					}
+					got[p.Tag]++
+					n++
+				}
+			}
+			cycle++
+			if cycle > 1_000_000 {
+				t.Fatalf("%s stalled", f.Name())
+			}
+		}
+		return got
+	}
+	omega := collect(NewOmega(OmegaConfig{Name: "omega", Ports: ports, Radix: 8, QueueWords: 2}))
+	xbar := collect(NewCrossbar("xbar", ports, 2))
+	if len(omega) != len(xbar) {
+		t.Fatalf("delivered sets differ: %d vs %d", len(omega), len(xbar))
+	}
+	for tag, c := range omega {
+		if xbar[tag] != c {
+			t.Fatalf("tag %d delivered %d times by omega, %d by crossbar", tag, c, xbar[tag])
+		}
+	}
+}
+
+func TestOmegaRejectsOversizedRadix(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("radix above the arbitration scratch bound should panic")
+		}
+	}()
+	NewOmega(OmegaConfig{Ports: 32 * 32, Radix: 32, QueueWords: 2})
+}

@@ -1,0 +1,179 @@
+package network
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Crossbar is an idealized single-stage interconnect used for the [Turn93]
+// ablation: the paper attributes Cedar's contention degradation to
+// "specific implementation constraints" (shallow two-word queues in a
+// multistage fabric) rather than to the network type itself. The Crossbar
+// has no internal blocking and unbounded ingress buffering; the only
+// conflicts are at the egress ports, each of which delivers one word per
+// cycle. Comparing kernels under Omega vs Crossbar isolates the network
+// topology from the raw port bandwidth.
+type Crossbar struct {
+	name    string
+	ports   int
+	latency int64 // minimum transit cycles, matching the omega's stage count
+
+	pending  pktHeap // packets in transit, ordered by arrival time
+	egress   []unboundedQueue
+	outFree  []int64 // next cycle each egress port may deliver a word
+	stats    Stats
+	inflight int
+	seq      int64
+}
+
+// NewCrossbar builds an ideal crossbar with the given minimum transit
+// latency (use the stage count of the omega being compared against).
+func NewCrossbar(name string, ports int, latency int) *Crossbar {
+	if ports < 1 {
+		panic("network: crossbar needs ≥1 port")
+	}
+	if latency < 1 {
+		latency = 1
+	}
+	return &Crossbar{
+		name:    name,
+		ports:   ports,
+		latency: int64(latency),
+		egress:  make([]unboundedQueue, ports),
+		outFree: make([]int64, ports),
+	}
+}
+
+// Name implements Fabric.
+func (c *Crossbar) Name() string { return c.name }
+
+// Ports implements Fabric.
+func (c *Crossbar) Ports() int { return c.ports }
+
+// Stats implements Fabric.
+func (c *Crossbar) Stats() Stats { return c.stats }
+
+// Idle implements Fabric.
+func (c *Crossbar) Idle() bool { return c.inflight == 0 }
+
+// Offer implements Fabric. An ideal crossbar never refuses.
+func (c *Crossbar) Offer(p *Packet) bool {
+	if p.Src < 0 || p.Src >= c.ports || p.Dst < 0 || p.Dst >= c.ports {
+		panic(fmt.Sprintf("network %s: port out of range: %v", c.name, p))
+	}
+	p.readyAt = -1 // filled in when scheduled below
+	c.seq++
+	heap.Push(&c.pending, pendingPkt{pkt: p, seq: c.seq})
+	c.stats.Offered++
+	c.inflight++
+	return true
+}
+
+// Tick implements Fabric: packets whose transit time has elapsed contend
+// for their egress port in arrival order; each port passes one word per
+// cycle. A packet reaches the egress queue only once its last word has
+// crossed, so Peek/Poll always see fully delivered packets.
+func (c *Crossbar) Tick(cycle int64) {
+	for len(c.pending) > 0 {
+		top := &c.pending[0]
+		if top.pkt.readyAt == -1 {
+			// Stamp transit eligibility on first sight.
+			top.pkt.readyAt = cycle + c.latency
+			heap.Fix(&c.pending, 0)
+			continue
+		}
+		if top.pkt.readyAt > cycle {
+			break
+		}
+		if !top.scheduled {
+			// Transit done: serialize through the egress port.
+			port := top.pkt.Dst
+			free := c.outFree[port]
+			if free < cycle {
+				free = cycle
+			}
+			w := int64(top.pkt.Words())
+			c.outFree[port] = free + w
+			top.pkt.readyAt = free + w
+			top.scheduled = true
+			c.stats.WordHops += w
+			heap.Fix(&c.pending, 0)
+			continue
+		}
+		p := heap.Pop(&c.pending).(pendingPkt).pkt
+		c.egress[p.Dst].push(p)
+	}
+}
+
+// Peek implements Fabric.
+func (c *Crossbar) Peek(port int) *Packet {
+	return c.egress[port].headPkt()
+}
+
+// Poll implements Fabric.
+func (c *Crossbar) Poll(port int) *Packet {
+	p := c.egress[port].pop()
+	if p != nil {
+		c.stats.Delivered++
+		c.inflight--
+	}
+	return p
+}
+
+var _ Fabric = (*Crossbar)(nil)
+
+// unboundedQueue is the ideal crossbar's infinite egress buffer.
+type unboundedQueue struct {
+	pkts []*Packet
+	head int
+}
+
+func (q *unboundedQueue) push(p *Packet) { q.pkts = append(q.pkts, p) }
+
+func (q *unboundedQueue) headPkt() *Packet {
+	if q.head >= len(q.pkts) {
+		return nil
+	}
+	return q.pkts[q.head]
+}
+
+func (q *unboundedQueue) pop() *Packet {
+	if q.head >= len(q.pkts) {
+		return nil
+	}
+	p := q.pkts[q.head]
+	q.pkts[q.head] = nil
+	q.head++
+	if q.head == len(q.pkts) {
+		q.pkts = q.pkts[:0]
+		q.head = 0
+	}
+	return p
+}
+
+type pendingPkt struct {
+	pkt       *Packet
+	seq       int64
+	scheduled bool
+}
+
+type pktHeap []pendingPkt
+
+func (h pktHeap) Len() int { return len(h) }
+func (h pktHeap) Less(i, j int) bool {
+	ri, rj := h[i].pkt.readyAt, h[j].pkt.readyAt
+	if ri != rj {
+		// Unstamped packets (-1) sort first so Tick stamps them.
+		return ri < rj
+	}
+	return h[i].seq < h[j].seq
+}
+func (h pktHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *pktHeap) Push(x interface{}) { *h = append(*h, x.(pendingPkt)) }
+func (h *pktHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

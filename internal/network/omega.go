@@ -1,0 +1,344 @@
+package network
+
+import (
+	"fmt"
+)
+
+// Fabric is a unidirectional interconnection network between n ingress
+// ports and n egress ports. Cedar instantiates two fabrics: forward
+// (CE→memory) and reverse (memory→CE).
+//
+// A Fabric is a sim.Component; sources must be ticked before the fabric
+// and sinks after it so a packet traverses at most one stage per cycle.
+type Fabric interface {
+	// Name identifies the fabric in diagnostics.
+	Name() string
+	// Ports returns the port count.
+	Ports() int
+	// Offer attempts to inject a packet at its Src port. It returns false
+	// when the ingress queue cannot accept the packet this cycle; the
+	// caller must retry later (flow control back-pressure).
+	Offer(p *Packet) bool
+	// Poll removes and returns the next packet delivered at the egress
+	// port, or nil if none is ready.
+	Poll(port int) *Packet
+	// Peek returns the next deliverable packet without removing it.
+	Peek(port int) *Packet
+	// Tick advances the fabric one cycle.
+	Tick(cycle int64)
+	// Idle reports whether no packets are in flight.
+	Idle() bool
+	// Stats returns cumulative traffic counters.
+	Stats() Stats
+}
+
+// Stats holds cumulative fabric counters.
+type Stats struct {
+	Offered   int64 // packets accepted at ingress
+	Refused   int64 // Offer calls rejected by back-pressure
+	Delivered int64 // packets handed to egress consumers
+	WordHops  int64 // word×stage movements (a utilization proxy)
+}
+
+// Omega is Cedar's packet-switched multistage shuffle-exchange network.
+//
+// The fabric has ports = radix^stages lines. Each stage applies the perfect
+// radix-k shuffle (rotate the base-k digits of the line number left by one)
+// and then a column of k×k crossbar switches. A packet destined for egress
+// port d is self-routed: the switch at stage t sends it out local port
+// digit(d, stages-1-t) — the tag-control scheme of [Lawr75].
+//
+// Each stage line has a word-granular queue (the hardware has a two-word
+// queue at every crossbar input and output port; we aggregate the pair into
+// one queue of their combined capacity). Flow control between stages
+// prevents overflow: a packet advances only if the downstream queue has
+// space. A W-word packet occupies its output wire for W cycles.
+type Omega struct {
+	name   string
+	radix  int
+	stages int
+	ports  int
+
+	// in[t][l] is the queue at the input of stage t, line l.
+	in [][]wordQueue
+	// egress[p] is the delivery queue at egress port p.
+	egress []wordQueue
+	// rr[t][l] is the round-robin arbitration pointer for the output wire
+	// at stage t, global output line l (which input of the switch last won).
+	rr [][]int
+	// outBusy[t][l] counts remaining cycles the output wire at stage t,
+	// line l is occupied by a multi-word packet.
+	outBusy [][]int
+	// busyWires[t] lists wires with outBusy > 0, so idle switches can be
+	// skipped without freezing in-flight multi-word transfers.
+	busyWires [][]int
+	// swCount[t][sw] counts packets queued at the inputs of switch sw in
+	// stage t; empty switches are skipped in the hot loop.
+	swCount [][]int
+	// ingressBusy[p] counts remaining cycles port p's ingress wire is
+	// occupied; ingressList tracks the busy ones.
+	ingressBusy []int
+	ingressList []int
+
+	egressCap int
+	stats     Stats
+	inflight  int
+	// now is the next cycle this fabric will execute. Offer stamps packets
+	// with it so a packet injected during cycle c takes its first hop at
+	// tick c; Poll uses it so a packet that completed its last hop during
+	// cycle c is consumable from cycle c+1 on (sinks tick after the fabric,
+	// so a sink at cycle c+1 sees it one cycle after arrival).
+	now int64
+}
+
+// OmegaConfig configures an Omega fabric.
+type OmegaConfig struct {
+	Name string
+	// Ports must be a power of Radix.
+	Ports int
+	// Radix is the crossbar arity (Cedar: 8).
+	Radix int
+	// QueueWords is the buffering per crossbar port (Cedar: 2). Each stage
+	// line aggregates an input and an output port queue, so the per-line
+	// capacity is 2×QueueWords.
+	QueueWords int
+	// EgressWords is the delivery queue capacity at each egress port.
+	// Zero selects 2×QueueWords.
+	EgressWords int
+}
+
+// NewOmega builds the fabric. It panics if Ports is not a positive power
+// of Radix — configurations are validated by params.Machine.Validate, so
+// this indicates a programming error.
+func NewOmega(cfg OmegaConfig) *Omega {
+	if cfg.Radix < 2 || cfg.Radix > maxRadix {
+		panic(fmt.Sprintf("network: radix %d outside 2..%d", cfg.Radix, maxRadix))
+	}
+	stages := 0
+	for n := cfg.Ports; n > 1; n /= cfg.Radix {
+		if n%cfg.Radix != 0 {
+			panic(fmt.Sprintf("network: ports %d not a power of radix %d", cfg.Ports, cfg.Radix))
+		}
+		stages++
+	}
+	if stages == 0 {
+		panic("network: need at least one stage")
+	}
+	if cfg.QueueWords < 1 {
+		panic("network: QueueWords < 1")
+	}
+	egressCap := cfg.EgressWords
+	if egressCap == 0 {
+		egressCap = 2 * cfg.QueueWords
+	}
+	o := &Omega{
+		name:        cfg.Name,
+		radix:       cfg.Radix,
+		stages:      stages,
+		ports:       cfg.Ports,
+		in:          make([][]wordQueue, stages),
+		egress:      make([]wordQueue, cfg.Ports),
+		rr:          make([][]int, stages),
+		outBusy:     make([][]int, stages),
+		busyWires:   make([][]int, stages),
+		swCount:     make([][]int, stages),
+		ingressBusy: make([]int, cfg.Ports),
+		egressCap:   egressCap,
+	}
+	lineCap := 2 * cfg.QueueWords
+	for t := 0; t < stages; t++ {
+		o.in[t] = make([]wordQueue, cfg.Ports)
+		o.rr[t] = make([]int, cfg.Ports)
+		o.outBusy[t] = make([]int, cfg.Ports)
+		o.swCount[t] = make([]int, cfg.Ports/cfg.Radix)
+		for l := 0; l < cfg.Ports; l++ {
+			o.in[t][l] = newWordQueue(lineCap)
+		}
+	}
+	for p := 0; p < cfg.Ports; p++ {
+		o.egress[p] = newWordQueue(egressCap)
+	}
+	return o
+}
+
+// Name implements Fabric.
+func (o *Omega) Name() string { return o.name }
+
+// Ports implements Fabric.
+func (o *Omega) Ports() int { return o.ports }
+
+// Stats implements Fabric.
+func (o *Omega) Stats() Stats { return o.stats }
+
+// Idle implements Fabric.
+func (o *Omega) Idle() bool { return o.inflight == 0 }
+
+// shuffle rotates the base-k digits of line left by one: the perfect
+// radix-k shuffle wiring between stages.
+func (o *Omega) shuffle(line int) int {
+	v := line * o.radix
+	return v%o.ports + v/o.ports
+}
+
+// digit extracts base-k digit i (0 = least significant) of v.
+func (o *Omega) digit(v, i int) int {
+	for ; i > 0; i-- {
+		v /= o.radix
+	}
+	return v % o.radix
+}
+
+// Offer implements Fabric. The packet enters the stage-0 queue on the
+// shuffled line for its source port.
+func (o *Omega) Offer(p *Packet) bool {
+	if p.Src < 0 || p.Src >= o.ports || p.Dst < 0 || p.Dst >= o.ports {
+		panic(fmt.Sprintf("network %s: port out of range: %v", o.name, p))
+	}
+	if o.ingressBusy[p.Src] > 0 {
+		o.stats.Refused++
+		return false
+	}
+	line := o.shuffle(p.Src)
+	q := &o.in[0][line]
+	if !q.canAccept(p.Words()) {
+		o.stats.Refused++
+		return false
+	}
+	p.readyAt = o.now
+	q.push(p)
+	o.swCount[0][line/o.radix]++
+	o.ingressBusy[p.Src] = p.Words()
+	o.ingressList = append(o.ingressList, p.Src)
+	o.stats.Offered++
+	o.inflight++
+	return true
+}
+
+// Peek implements Fabric.
+func (o *Omega) Peek(port int) *Packet {
+	h := o.egress[port].headPkt()
+	if h == nil || h.readyAt >= o.now {
+		return nil
+	}
+	return h
+}
+
+// Poll implements Fabric.
+func (o *Omega) Poll(port int) *Packet {
+	if o.Peek(port) == nil {
+		return nil
+	}
+	p := o.egress[port].pop()
+	o.stats.Delivered++
+	o.inflight--
+	return p
+}
+
+// Tick implements Fabric: every switch column moves at most one packet per
+// output wire. Stages are processed last-first so a packet vacating a queue
+// frees space for the upstream stage within the same cycle (pipelining),
+// while the readyAt stamp still limits each packet to one hop per cycle.
+func (o *Omega) Tick(cycle int64) {
+	o.now = cycle + 1
+	if len(o.ingressList) > 0 {
+		keep := o.ingressList[:0]
+		for _, p := range o.ingressList {
+			if o.ingressBusy[p] > 0 {
+				o.ingressBusy[p]--
+			}
+			if o.ingressBusy[p] > 0 {
+				keep = append(keep, p)
+			}
+		}
+		o.ingressList = keep
+	}
+	for t := o.stages - 1; t >= 0; t-- {
+		o.tickStage(t, cycle)
+	}
+}
+
+func (o *Omega) tickStage(t int, cycle int64) {
+	nsw := o.ports / o.radix
+	k := o.radix
+	routeDigit := o.stages - 1 - t
+	// Release output wires occupied by multi-word packets.
+	if len(o.busyWires[t]) > 0 {
+		keep := o.busyWires[t][:0]
+		for _, w := range o.busyWires[t] {
+			o.outBusy[t][w]--
+			if o.outBusy[t][w] > 0 {
+				keep = append(keep, w)
+			}
+		}
+		o.busyWires[t] = keep
+	}
+	// Per switch: one pass over the inputs collects each head packet's
+	// desired output; a second pass arbitrates per output in round-robin
+	// order. This is O(k) per switch instead of O(k²).
+	var wantOut [maxRadix]int8 // desired output per input, -1 = none
+	for sw := 0; sw < nsw; sw++ {
+		if o.swCount[t][sw] == 0 {
+			continue
+		}
+		base := sw * k
+		outMask := 0
+		for inp := 0; inp < k; inp++ {
+			wantOut[inp] = -1
+			h := o.in[t][base+inp].headPkt()
+			if h == nil || h.readyAt > cycle {
+				continue
+			}
+			out := o.digit(h.Dst, routeDigit)
+			wantOut[inp] = int8(out)
+			outMask |= 1 << out
+		}
+		if outMask == 0 {
+			continue
+		}
+		for out := 0; out < k; out++ {
+			if outMask&(1<<out) == 0 {
+				continue
+			}
+			gout := base + out
+			if o.outBusy[t][gout] > 0 {
+				continue
+			}
+			// Round-robin scan starting after the last winner.
+			start := o.rr[t][gout]
+			for i := 0; i < k; i++ {
+				inp := (start + 1 + i) % k
+				if wantOut[inp] != int8(out) {
+					continue
+				}
+				var dst *wordQueue
+				if t == o.stages-1 {
+					dst = &o.egress[gout]
+				} else {
+					dst = &o.in[t+1][o.shuffle(gout)]
+				}
+				if !dst.canAccept(o.in[t][base+inp].headPkt().Words()) {
+					break // head-of-line blocking: this output stalls
+				}
+				h := o.in[t][base+inp].pop()
+				o.swCount[t][sw]--
+				h.readyAt = cycle + int64(h.Words())
+				dst.push(h)
+				if t < o.stages-1 {
+					o.swCount[t+1][o.shuffle(gout)/o.radix]++
+				}
+				o.rr[t][gout] = inp
+				if w := h.Words() - 1; w > 0 {
+					o.outBusy[t][gout] = w
+					o.busyWires[t] = append(o.busyWires[t], gout)
+				}
+				o.stats.WordHops += int64(h.Words())
+				break
+			}
+		}
+	}
+}
+
+// maxRadix bounds the stack-allocated arbitration scratch space.
+const maxRadix = 16
+
+var _ Fabric = (*Omega)(nil)

@@ -1,0 +1,66 @@
+package network
+
+// wordQueue is a FIFO of packets with a capacity measured in 64-bit words,
+// matching the word-granular buffering of the Cedar crossbar ports. It is
+// a fixed ring buffer: queues sit on the simulator's hottest path and must
+// not allocate per packet.
+//
+// An empty queue always accepts one packet even if the packet is longer
+// than the capacity; this models cut-through of a long packet that is
+// streaming across the queue and avoids deadlock for packets longer than
+// the two-word hardware buffers.
+type wordQueue struct {
+	capWords int
+	words    int
+	ring     []*Packet
+	head     int
+	n        int
+}
+
+func newWordQueue(capWords int) wordQueue {
+	// At most one packet per word, plus one slot for the oversized
+	// packet an empty queue must accept.
+	return wordQueue{capWords: capWords, ring: make([]*Packet, capWords+1)}
+}
+
+// canAccept reports whether a packet of w words may be pushed now.
+func (q *wordQueue) canAccept(w int) bool {
+	if q.n == 0 {
+		return true
+	}
+	return q.n < len(q.ring) && q.words+w <= q.capWords
+}
+
+// push appends the packet. The caller must have checked canAccept.
+func (q *wordQueue) push(p *Packet) {
+	q.ring[(q.head+q.n)%len(q.ring)] = p
+	q.n++
+	q.words += p.Words()
+}
+
+// headPkt returns the oldest packet without removing it, or nil.
+func (q *wordQueue) headPkt() *Packet {
+	if q.n == 0 {
+		return nil
+	}
+	return q.ring[q.head]
+}
+
+// pop removes and returns the oldest packet, or nil.
+func (q *wordQueue) pop() *Packet {
+	if q.n == 0 {
+		return nil
+	}
+	p := q.ring[q.head]
+	q.ring[q.head] = nil
+	q.head = (q.head + 1) % len(q.ring)
+	q.n--
+	q.words -= p.Words()
+	return p
+}
+
+// empty reports whether the queue holds no packets.
+func (q *wordQueue) empty() bool { return q.n == 0 }
+
+// len returns the number of queued packets.
+func (q *wordQueue) len() int { return q.n }

@@ -1,0 +1,190 @@
+// Package perfect implements profile-driven proxies for the thirteen
+// Perfect Benchmarks® codes the paper evaluates on Cedar.
+//
+// The original codes are large Fortran applications; what Tables 3-6 and
+// Figure 3 depend on is each code's *shape* — how much of its work
+// vectorizes, how much parallelizes under KAP versus under the
+// "automatable" transformations (array privatization, parallel
+// reductions, advanced induction variables, runtime dependence tests),
+// the granularity of its parallel loops, where its data lives, and its
+// sensitivity to prefetch, Cedar synchronization, barriers, I/O and
+// paging. Each proxy encodes those facts (sourced from the paper's §3.3
+// and §4.2 commentary and the companion CSRD reports) as a profile of
+// work segments, and the builder turns a profile into real phase programs
+// that run on the simulated machine in four variants: the uniprocessor
+// scalar Serial baseline, the KAP/Cedar compiled version, the Automatable
+// version, and the Hand-optimized version of Table 4, with the NoPrefetch
+// and NoCedarSync ablations of Table 3.
+//
+// Applications are simulated at reduced scale: a profile describes Reps
+// identical slices of the full computation and the runner simulates one
+// slice, scaling the time back up and adding the serial I/O and paging
+// components. The slice is large enough to exercise every machine
+// mechanism the full code would (loop scheduling, prefetch streams,
+// cache placement, synchronization, barriers).
+package perfect
+
+import "fmt"
+
+// Placement says where a segment's vector data lives in the parallel
+// versions.
+type Placement uint8
+
+// Data placements.
+const (
+	// PlaceGlobal: operands stream from global memory.
+	PlaceGlobal Placement = iota
+	// PlaceLocal: loop-local (privatized) data in cluster memory, served
+	// by the cluster cache.
+	PlaceLocal
+)
+
+// Segment is one class of work within a code.
+type Segment struct {
+	Name string
+	// Frac is this segment's share of the code's floating-point work.
+	Frac float64
+	// Vector marks work that can use the vector unit at all.
+	Vector bool
+	// VecKAP marks vectorization the 1988 KAP retarget already finds.
+	VecKAP bool
+	// ParKAP marks loops KAP parallelizes.
+	ParKAP bool
+	// ParAuto marks loops the automatable transformations parallelize.
+	ParAuto bool
+	// ParHand marks loops only hand optimization parallelizes (for
+	// example QCD's random-number generator).
+	ParHand bool
+	// Grain is the floating-point work per parallel loop iteration.
+	Grain int
+	// Place is the data placement of the parallel versions.
+	Place Placement
+	// HandLocal moves the data to cluster memory in the hand version
+	// (aggressive data distribution, as in ARC2D).
+	HandLocal bool
+	// WordsPerFlop is the memory intensity of the segment.
+	WordsPerFlop float64
+	// ScalarAccess marks segments dominated by scalar global accesses
+	// (TRACK): they never vectorize their memory traffic.
+	ScalarAccess bool
+	// Chunks splits the segment into that many dependent sweeps, each a
+	// phase ending in a multicluster barrier (FLO52's barrier chains).
+	// Zero means one.
+	Chunks int
+	// HandChunks is the sweep count after hand restructuring (FLO52's
+	// single multicluster barrier + concurrency-control sequences).
+	// Zero means unchanged.
+	HandChunks int
+	// Hier makes the hand version schedule this segment as an
+	// SDOALL/CDOALL nest instead of a flat XDOALL (DYFESM, FLO52).
+	Hier bool
+}
+
+// Profile describes one Perfect code.
+type Profile struct {
+	Name string
+	// Flops is the full-scale floating-point operation count.
+	Flops int64
+	// Reps is how many identical slices the full run comprises; one
+	// slice is simulated.
+	Reps int
+	// IOWords is the code's Fortran I/O volume. The Serial, KAP and
+	// Automatable variants pay the formatted path for it; the Hand
+	// variant pays the unformatted path (BDNA's I/O fix). MG3D's Table 3
+	// entry already has its file I/O eliminated, so its profile carries
+	// zero.
+	IOWords int64
+	// HandWork is the fraction of the flops remaining after hand
+	// elimination of unnecessary computation (ARC2D); 0 means 1.0.
+	HandWork float64
+	// VMFootprintWords is the shared working set whose pages every
+	// cluster of a multicluster run must first-touch (TRFD's TLB-miss
+	// faults); VMPhases counts the remappings (transposes) that repeat
+	// the first-touch storm.
+	VMFootprintWords int64
+	VMPhases         int
+	// HandVM notes that the hand version eliminates the paging penalty
+	// (TRFD's distributed-memory rewrite).
+	HandVM bool
+	// KAPOneCluster confines the KAP version to one cluster, as the
+	// Perfect runs did for some codes to avoid intercluster overhead.
+	KAPOneCluster bool
+	// FlopFraction is the share of the code's work that is floating
+	// point (0 means 1). SPICE-like codes spend most of their time on
+	// pointer chasing and integer work, which is why their MFLOPS — the
+	// Cray hardware-monitor flop counts over wall time — are so low.
+	FlopFraction float64
+	Segments     []Segment
+
+	// Comparator fractions for the Cray models.
+	YMPVec, YMPParAuto, YMPParHand, Cray1Vec float64
+}
+
+// Validate checks that segment fractions sum to 1.
+func (p Profile) Validate() error {
+	var sum float64
+	for _, s := range p.Segments {
+		if s.Frac < 0 {
+			return fmt.Errorf("perfect %s: negative fraction in %s", p.Name, s.Name)
+		}
+		sum += s.Frac
+	}
+	if sum < 0.999 || sum > 1.001 {
+		return fmt.Errorf("perfect %s: segment fractions sum to %.4f", p.Name, sum)
+	}
+	if p.Flops <= 0 || p.Reps <= 0 {
+		return fmt.Errorf("perfect %s: need positive Flops and Reps", p.Name)
+	}
+	return nil
+}
+
+// flopFraction returns the effective flop share.
+func (p Profile) flopFraction() float64 {
+	if p.FlopFraction == 0 {
+		return 1
+	}
+	return p.FlopFraction
+}
+
+// handWork returns the hand-version work factor.
+func (p Profile) handWork() float64 {
+	if p.HandWork == 0 {
+		return 1
+	}
+	return p.HandWork
+}
+
+// Variant selects which version of a code to run.
+type Variant uint8
+
+// Code variants, matching the paper's tables.
+const (
+	// Serial is the uniprocessor scalar baseline of Table 3.
+	Serial Variant = iota
+	// KAP is the version compiled by the retargeted 1988 KAP.
+	KAP
+	// Auto is the "Automatable" version: manually applied but
+	// automatable restructuring transformations.
+	Auto
+	// Hand is the Table 4 manually optimized version.
+	Hand
+)
+
+// String implements fmt.Stringer.
+func (v Variant) String() string {
+	switch v {
+	case Serial:
+		return "Serial"
+	case KAP:
+		return "KAP"
+	case Auto:
+		return "Automatable"
+	case Hand:
+		return "Hand"
+	}
+	return fmt.Sprintf("Variant(%d)", uint8(v))
+}
+
+// scalarCPF is the cycles-per-flop of scalar 68020+FPU code: the serial
+// baseline runs at ≈2 MFLOPS per CE.
+const scalarCPF = 3

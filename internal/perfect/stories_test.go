@@ -1,0 +1,171 @@
+package perfect
+
+import (
+	"testing"
+
+	"cedar/internal/params"
+	"cedar/internal/ppt"
+)
+
+// TestPerCodeStories checks, code by code, the property the paper (or a
+// companion CSRD report) attributes to it. These are the load-bearing
+// facts behind Tables 3-6 and Figure 3; each is asserted against a real
+// simulated run rather than against the profile's declaration.
+func TestPerCodeStories(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite stories in -short mode")
+	}
+	pm := params.Default()
+
+	speedup := func(t *testing.T, p Profile, spec Spec) float64 {
+		t.Helper()
+		serial, err := Run(pm, p, Spec{Variant: Serial})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := Run(pm, p, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return serial.Seconds / out.Seconds
+	}
+
+	t.Run("ADM intermediate automatable", func(t *testing.T) {
+		sp := speedup(t, ADM(), Spec{Variant: Auto})
+		if ppt.BandOfSpeedup(sp, 32) != ppt.Intermediate {
+			t.Errorf("ADM automatable speedup %.1f not intermediate", sp)
+		}
+	})
+
+	t.Run("ARC2D strong vector code", func(t *testing.T) {
+		sp := speedup(t, ARC2D(), Spec{Variant: Auto})
+		if sp < 10 {
+			t.Errorf("ARC2D automatable speedup %.1f, want strong (>10)", sp)
+		}
+	})
+
+	t.Run("BDNA serial dominated by formatted IO", func(t *testing.T) {
+		serial, err := Run(pm, BDNA(), Spec{Variant: Serial})
+		if err != nil {
+			t.Fatal(err)
+		}
+		computeOnly := float64(BDNA().Flops) * scalarCPF / params.CyclesPerSecond
+		ioShare := (serial.Seconds - computeOnly) / serial.Seconds
+		if ioShare < 0.05 {
+			t.Errorf("BDNA I/O share %.2f of serial time; the hand I/O fix would be pointless", ioShare)
+		}
+	})
+
+	t.Run("DYFESM needs Cedar sync and prefetch", func(t *testing.T) {
+		auto := speedup(t, DYFESM(), Spec{Variant: Auto})
+		nosync := speedup(t, DYFESM(), Spec{Variant: Auto, NoSync: true})
+		nopref := speedup(t, DYFESM(), Spec{Variant: Auto, NoSync: true, NoPref: true})
+		if !(auto > nosync && nosync > nopref) {
+			t.Errorf("DYFESM ablation ordering broken: %.1f / %.1f / %.1f", auto, nosync, nopref)
+		}
+	})
+
+	t.Run("FLO52 barrier chains hurt; hand restructuring helps", func(t *testing.T) {
+		auto, err := Run(pm, FLO52(), Spec{Variant: Auto, NoSync: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hand, err := Run(pm, FLO52(), Spec{Variant: Hand})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hand.Seconds >= auto.Seconds {
+			t.Errorf("FLO52 hand %.1f s not faster than automatable %.1f s", hand.Seconds, auto.Seconds)
+		}
+	})
+
+	t.Run("MDG the high performer", func(t *testing.T) {
+		sp := speedup(t, MDG(), Spec{Variant: Auto})
+		if ppt.BandOfSpeedup(sp, 32) != ppt.High {
+			t.Errorf("MDG automatable speedup %.1f not high (≥16)", sp)
+		}
+	})
+
+	t.Run("OCEAN fine grain needs Cedar sync", func(t *testing.T) {
+		auto := speedup(t, OCEAN(), Spec{Variant: Auto})
+		nosync := speedup(t, OCEAN(), Spec{Variant: Auto, NoSync: true})
+		if nosync > auto/1.5 {
+			t.Errorf("OCEAN nosync %.1f vs auto %.1f; want a severe hit", nosync, auto)
+		}
+	})
+
+	t.Run("QCD RNG bound until hand parallelization", func(t *testing.T) {
+		auto := speedup(t, QCD(), Spec{Variant: Auto})
+		hand := speedup(t, QCD(), Spec{Variant: Hand})
+		if auto > 2.4 {
+			t.Errorf("QCD automatable %.1f, want ≈1.8 (serial RNG)", auto)
+		}
+		if hand < 6*auto {
+			t.Errorf("QCD hand %.1f vs auto %.1f; want the dramatic RNG fix", hand, auto)
+		}
+	})
+
+	t.Run("SPICE poor everywhere", func(t *testing.T) {
+		out, err := Run(pm, SPICE(), Spec{Variant: Auto})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.MFLOPS > 1.5 {
+			t.Errorf("SPICE automatable %.2f MFLOPS, want the suite minimum (<1)", out.MFLOPS)
+		}
+	})
+
+	t.Run("TRACK scalar access bound", func(t *testing.T) {
+		nosync, err := Run(pm, TRACK(), Spec{Variant: Auto, NoSync: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nopref, err := Run(pm, TRACK(), Spec{Variant: Auto, NoSync: true, NoPref: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ratio := nopref.Seconds / nosync.Seconds; ratio > 1.1 {
+			t.Errorf("TRACK no-pref slowdown %.2f; scalar accesses cannot benefit from the PFU", ratio)
+		}
+	})
+
+	t.Run("TRFD pays paging only on multiple clusters", func(t *testing.T) {
+		four, err := Run(pm, TRFD(), Spec{Variant: Auto})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pm1 := pm
+		pm1.Clusters = 1
+		one, err := Run(pm1, TRFD(), Spec{Variant: Auto})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The paper's point exactly: the multicluster version's TLB storm
+		// (≈4× the page faults, near half the time in virtual memory)
+		// eats the gain from having four times the processors — which is
+		// why the distributed-memory rewrite exists. Multicluster must
+		// NOT show healthy scaling here.
+		if one.Seconds/four.Seconds > 1.5 {
+			t.Errorf("TRFD 4-cluster scaling %.1f× over 1-cluster; the paging penalty should erase it",
+				one.Seconds/four.Seconds)
+		}
+		// The hand (distributed) version beats both.
+		hand, err := Run(pm, TRFD(), Spec{Variant: Hand})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hand.Seconds >= four.Seconds || hand.Seconds >= one.Seconds {
+			t.Errorf("TRFD hand %.1f s should beat both auto runs (%.1f, %.1f)",
+				hand.Seconds, four.Seconds, one.Seconds)
+		}
+	})
+
+	t.Run("SPEC77 and MG3D solid intermediates", func(t *testing.T) {
+		for _, p := range []Profile{SPEC77(), MG3D()} {
+			sp := speedup(t, p, Spec{Variant: Auto})
+			if ppt.BandOfSpeedup(sp, 32) != ppt.Intermediate {
+				t.Errorf("%s automatable speedup %.1f not intermediate", p.Name, sp)
+			}
+		}
+	})
+}

@@ -1,0 +1,15 @@
+package perfect
+
+import "cedar/internal/comparator"
+
+// Summary converts a profile into the comparator models' input.
+func (p Profile) Summary() comparator.CodeSummary {
+	return comparator.CodeSummary{
+		Name:         p.Name,
+		Flops:        int64(float64(p.Flops) * p.flopFraction()),
+		VecFrac:      p.YMPVec,
+		ParAutoFrac:  p.YMPParAuto,
+		ParHandFrac:  p.YMPParHand,
+		Cray1VecFrac: p.Cray1Vec,
+	}
+}

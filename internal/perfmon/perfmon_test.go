@@ -1,0 +1,140 @@
+package perfmon
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTracerCapacityAndDrops(t *testing.T) {
+	tr := NewTracer(1)
+	for i := 0; i < TracerCap+10; i++ {
+		tr.Post(Event{Cycle: int64(i)})
+	}
+	if len(tr.Events()) != TracerCap {
+		t.Errorf("captured %d, want %d", len(tr.Events()), TracerCap)
+	}
+	if tr.Dropped() != 10 {
+		t.Errorf("dropped %d, want 10", tr.Dropped())
+	}
+}
+
+func TestTracerCascade(t *testing.T) {
+	tr := NewTracer(2)
+	for i := 0; i < TracerCap+10; i++ {
+		tr.Post(Event{})
+	}
+	if tr.Dropped() != 0 {
+		t.Error("cascaded tracer dropped events below combined capacity")
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(1)
+	h.Add(5)
+	h.Add(5)
+	h.Add(7)
+	if h.Count(5) != 2 || h.Count(7) != 1 {
+		t.Errorf("counts: %d,%d", h.Count(5), h.Count(7))
+	}
+	if h.Total() != 3 {
+		t.Errorf("total %d", h.Total())
+	}
+	want := (5.0*2 + 7) / 3
+	if got := h.Mean(); got != want {
+		t.Errorf("mean %v, want %v", got, want)
+	}
+}
+
+func TestHistogramClampsAndIgnoresBadBins(t *testing.T) {
+	h := NewHistogram(1)
+	h.Add(-5)
+	h.Add(HistogramBins + 100)
+	if h.Count(0) != 1 {
+		t.Error("negative bin should clamp to 0")
+	}
+	if h.Count(HistogramBins-1) != 1 {
+		t.Error("overflow bin should clamp to last counter")
+	}
+	if h.Count(-1) != 0 || h.Count(1<<30) != 0 {
+		t.Error("out-of-range Count should be 0")
+	}
+}
+
+func TestHistogramPercentile(t *testing.T) {
+	h := NewHistogram(1)
+	for i := 0; i < 100; i++ {
+		h.Add(i)
+	}
+	if p := h.Percentile(0.5); p != 50 {
+		t.Errorf("median %d, want 50", p)
+	}
+	if p := h.Percentile(0); p != 0 {
+		t.Errorf("p0 = %d, want 0", p)
+	}
+}
+
+func TestBlockStats(t *testing.T) {
+	b := NewBlockStats()
+	// Block 1: issued at 10, words at 18, 19, 20 (lat 8, inter 1, 1).
+	b.Observe(10, []int64{18, 19, 20})
+	// Block 2: issued at 100, words out of order: 120, 110, 114
+	// (lat 10, inter 4, 6 after sorting).
+	b.Observe(100, []int64{120, 110, 114})
+	if b.Blocks() != 2 {
+		t.Fatalf("blocks = %d", b.Blocks())
+	}
+	if got := b.MeanLatency(); got != 9 {
+		t.Errorf("mean latency %v, want 9", got)
+	}
+	if got := b.MinLatency(); got != 8 {
+		t.Errorf("min latency %v, want 8", got)
+	}
+	if got := b.MaxLatency(); got != 10 {
+		t.Errorf("max latency %v, want 10", got)
+	}
+	if got := b.MeanInterarrival(); got != 3 {
+		t.Errorf("mean interarrival %v, want (1+1+4+6)/4 = 3", got)
+	}
+}
+
+func TestBlockStatsEmpty(t *testing.T) {
+	b := NewBlockStats()
+	b.Observe(5, nil)
+	if b.Blocks() != 0 || b.MeanLatency() != 0 || b.MeanInterarrival() != 0 || b.MinLatency() != 0 {
+		t.Error("empty observation should be ignored")
+	}
+}
+
+func TestBlockStatsSortInvariantProperty(t *testing.T) {
+	// Interarrival sum == span of sorted arrivals regardless of order.
+	f := func(raw []uint16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		arr := make([]int64, len(raw))
+		for i, v := range raw {
+			arr[i] = int64(v) + 100
+		}
+		b := NewBlockStats()
+		b.Observe(0, arr)
+		min, max := arr[0], arr[0]
+		for _, v := range arr {
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		wantMean := float64(max-min) / float64(len(arr)-1)
+		got := b.MeanInterarrival()
+		diff := got - wantMean
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,67 @@
+package perfmon
+
+// Sampler is the software analogue of hooking the hardware histogrammers
+// to "any other accessible hardware signal": every Interval cycles it
+// reads a set of probes and adds each value to that probe's histogram.
+// The paper's monitor cascaded 64K×32-bit counter units; a Sampler uses
+// one Histogram per probe.
+//
+// Register it with the simulation engine after the components it probes.
+type Sampler struct {
+	Interval int64
+	probes   []probe
+}
+
+type probe struct {
+	name string
+	read func() int
+	hist *Histogram
+}
+
+// NewSampler builds a sampler with the given period (≥1).
+func NewSampler(interval int64) *Sampler {
+	if interval < 1 {
+		interval = 1
+	}
+	return &Sampler{Interval: interval}
+}
+
+// Probe attaches a signal: read() is sampled every Interval cycles into a
+// fresh histogram, which is returned for analysis.
+func (s *Sampler) Probe(name string, read func() int) *Histogram {
+	h := NewHistogram(1)
+	s.probes = append(s.probes, probe{name: name, read: read, hist: h})
+	return h
+}
+
+// Name implements sim.Component.
+func (s *Sampler) Name() string { return "perfmon-sampler" }
+
+// Tick implements sim.Component.
+func (s *Sampler) Tick(cycle int64) {
+	if cycle%s.Interval != 0 {
+		return
+	}
+	for i := range s.probes {
+		s.probes[i].hist.Add(s.probes[i].read())
+	}
+}
+
+// Histogram returns the histogram for a named probe, or nil.
+func (s *Sampler) Histogram(name string) *Histogram {
+	for i := range s.probes {
+		if s.probes[i].name == name {
+			return s.probes[i].hist
+		}
+	}
+	return nil
+}
+
+// Probes returns the probe names in registration order.
+func (s *Sampler) Probes() []string {
+	names := make([]string, len(s.probes))
+	for i := range s.probes {
+		names[i] = s.probes[i].name
+	}
+	return names
+}

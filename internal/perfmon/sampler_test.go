@@ -1,0 +1,47 @@
+package perfmon
+
+import "testing"
+
+func TestSamplerSamplesAtInterval(t *testing.T) {
+	s := NewSampler(10)
+	v := 0
+	h := s.Probe("v", func() int { return v })
+	for cy := int64(0); cy < 100; cy++ {
+		v = int(cy)
+		s.Tick(cy)
+	}
+	if got := h.Total(); got != 10 {
+		t.Fatalf("%d samples, want 10", got)
+	}
+	// Samples at cycles 0, 10, ..., 90: mean bin = 45.
+	if m := h.Mean(); m != 45 {
+		t.Errorf("mean %v, want 45", m)
+	}
+}
+
+func TestSamplerMultipleProbes(t *testing.T) {
+	s := NewSampler(1)
+	a := s.Probe("a", func() int { return 1 })
+	b := s.Probe("b", func() int { return 2 })
+	s.Tick(0)
+	if a.Count(1) != 1 || b.Count(2) != 1 {
+		t.Error("probes not independent")
+	}
+	if s.Histogram("a") != a || s.Histogram("b") != b {
+		t.Error("lookup by name broken")
+	}
+	if s.Histogram("c") != nil {
+		t.Error("unknown probe should be nil")
+	}
+	names := s.Probes()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("probe names %v", names)
+	}
+}
+
+func TestSamplerIntervalClamped(t *testing.T) {
+	s := NewSampler(0)
+	if s.Interval != 1 {
+		t.Errorf("interval %d, want clamp to 1", s.Interval)
+	}
+}

@@ -1,0 +1,276 @@
+// Package prefetch models Cedar's per-CE data prefetch unit (PFU).
+//
+// The PFU masks the long global-memory latency and overcomes the limit of
+// two outstanding requests per Alliant CE. It is "armed" with the length,
+// stride and mask of a vector and "fired" with the physical address of the
+// first word. It then issues up to 512 requests without pausing; data
+// returns — possibly out of order because of memory and network conflicts
+// — into a 512-word prefetch buffer whose full/empty bit per word lets the
+// CE consume the data in request order without waiting for the whole block.
+// When the next address would cross a 4 KB page boundary the PFU suspends
+// until the processor supplies the first address of the new page, because
+// the PFU only handles physical addresses. Arming again invalidates the
+// buffer.
+package prefetch
+
+import (
+	"fmt"
+
+	"cedar/internal/network"
+	"cedar/internal/params"
+)
+
+// TagBit marks network packet tags owned by a PFU, letting the CE dispatch
+// replies arriving on the shared network port.
+const TagBit = 1 << 31
+
+// BlockObserver receives one record per fired prefetch block, mirroring
+// what Cedar's external hardware monitor captured: the cycle the first
+// address was issued to the forward network and the cycle each datum
+// returned from the reverse network.
+type BlockObserver func(firstIssue int64, arrivals []int64)
+
+type slot struct {
+	full    bool
+	value   int64
+	arrival int64
+}
+
+// PFU is one CE's prefetch unit.
+type PFU struct {
+	p       params.Machine
+	port    int
+	fwd     network.Fabric
+	modFor  func(addr uint64) int
+	observe BlockObserver
+
+	buf   []slot
+	epoch uint32
+
+	armed       bool
+	fired       bool
+	length      int
+	stride      int64
+	mask        []bool
+	nextAddr    uint64
+	issuedIdx   int // next element index to issue
+	outstanding int
+	suspended   bool
+
+	firstIssue int64
+	arrivals   []int64
+
+	consumeIdx int
+
+	stats Stats
+}
+
+// Stats holds cumulative PFU counters.
+type Stats struct {
+	Blocks     int64 // blocks fired
+	Issued     int64 // requests issued to the network
+	Returned   int64 // words returned to the buffer
+	Dropped    int64 // stale replies discarded after re-arm
+	Suspends   int64 // page-crossing suspensions
+	RefusedCyc int64 // cycles an issue was refused by network back-pressure
+}
+
+// New builds a PFU for the CE on the given forward-network port. modFor
+// maps a word address to its memory module (egress port).
+func New(p params.Machine, port int, fwd network.Fabric, modFor func(uint64) int) *PFU {
+	return &PFU{
+		p:      p,
+		port:   port,
+		fwd:    fwd,
+		modFor: modFor,
+		buf:    make([]slot, p.PFUBufferWords),
+	}
+}
+
+// SetObserver installs the hardware-monitor hook.
+func (u *PFU) SetObserver(o BlockObserver) { u.observe = o }
+
+// Stats returns cumulative counters.
+func (u *PFU) Stats() Stats { return u.stats }
+
+// Arm prepares a prefetch of length words with the given stride (in words).
+// mask may be nil (all elements) or length bools selecting elements.
+// Arming invalidates the buffer: outstanding replies from earlier blocks
+// will be dropped on return.
+func (u *PFU) Arm(length int, stride int64, mask []bool) error {
+	if length < 1 || length > u.p.PFUBufferWords {
+		return fmt.Errorf("prefetch: block length %d outside 1..%d", length, u.p.PFUBufferWords)
+	}
+	if mask != nil && len(mask) != length {
+		return fmt.Errorf("prefetch: mask length %d != block length %d", len(mask), length)
+	}
+	u.flushBlock()
+	u.epoch++
+	u.armed = true
+	u.fired = false
+	u.suspended = false
+	u.length = length
+	u.stride = stride
+	u.mask = mask
+	u.issuedIdx = 0
+	u.consumeIdx = 0
+	u.outstanding = 0
+	u.arrivals = u.arrivals[:0]
+	for i := range u.buf {
+		u.buf[i] = slot{}
+	}
+	return nil
+}
+
+// Fire starts the armed prefetch at the given physical word address. The
+// first request is issued on the next Tick.
+func (u *PFU) Fire(addr uint64) error {
+	if !u.armed {
+		return fmt.Errorf("prefetch: Fire without Arm")
+	}
+	if u.fired {
+		return fmt.Errorf("prefetch: already fired")
+	}
+	u.fired = true
+	u.nextAddr = addr
+	u.firstIssue = -1
+	u.stats.Blocks++
+	return nil
+}
+
+// Suspended reports whether the PFU is paused at a page boundary, waiting
+// for the processor to supply the first address in the new page.
+func (u *PFU) Suspended() bool { return u.suspended }
+
+// PendingAddr returns the virtual continuation address that triggered a
+// page-crossing suspension; the processor translates it and passes the
+// physical address to Resume.
+func (u *PFU) PendingAddr() uint64 { return u.nextAddr }
+
+// Resume supplies the physical address of the new page after a page
+// crossing suspension.
+func (u *PFU) Resume(addr uint64) {
+	if !u.suspended {
+		return
+	}
+	u.suspended = false
+	u.nextAddr = addr
+}
+
+// Done reports whether every element of the fired block has been issued
+// and returned.
+func (u *PFU) Done() bool {
+	return !u.fired || (u.issuedIdx >= u.length && u.outstanding == 0)
+}
+
+// Busy reports whether requests are outstanding or still to issue.
+func (u *PFU) Busy() bool { return u.fired && !u.Done() }
+
+// Tick issues at most one request into the forward network (the PFU shares
+// the CE's single network port; the fabric's ingress serialization
+// arbitrates between them).
+func (u *PFU) Tick(cycle int64) {
+	if !u.fired || u.suspended {
+		return
+	}
+	for u.issuedIdx < u.length && u.mask != nil && !u.mask[u.issuedIdx] {
+		// Masked-off elements are never fetched; mark them consumable.
+		u.buf[u.issuedIdx].full = true
+		u.buf[u.issuedIdx].arrival = cycle
+		u.issuedIdx++
+	}
+	if u.issuedIdx >= u.length {
+		return
+	}
+	if u.outstanding >= u.p.PFUMaxOutstanding {
+		return
+	}
+	addr := u.nextAddr
+	pkt := &network.Packet{
+		Kind:  network.ReadReq,
+		Src:   u.port,
+		Dst:   u.modFor(addr),
+		Addr:  addr,
+		Tag:   TagBit | (u.epoch&0x7fff)<<16 | uint32(u.issuedIdx),
+		Issue: cycle,
+	}
+	if !u.fwd.Offer(pkt) {
+		u.stats.RefusedCyc++
+		return
+	}
+	if u.firstIssue < 0 {
+		u.firstIssue = cycle
+	}
+	u.stats.Issued++
+	u.outstanding++
+	u.issuedIdx++
+	if u.issuedIdx < u.length {
+		next := uint64(int64(addr) + u.stride)
+		if next/uint64(u.p.PageWords) != addr/uint64(u.p.PageWords) {
+			u.suspended = true
+			u.stats.Suspends++
+		}
+		u.nextAddr = next
+	}
+}
+
+// Deliver hands the PFU a reply polled from the reverse network by its CE.
+// It reports whether the packet belonged to this PFU.
+func (u *PFU) Deliver(pkt *network.Packet, cycle int64) bool {
+	if pkt.Tag&TagBit == 0 {
+		return false
+	}
+	epoch := (pkt.Tag &^ TagBit) >> 16
+	idx := int(pkt.Tag & 0xffff)
+	if epoch != u.epoch&0x7fff || idx >= u.length {
+		u.stats.Dropped++ // stale reply from an invalidated block
+		return true
+	}
+	s := &u.buf[idx]
+	if s.full {
+		u.stats.Dropped++
+		return true
+	}
+	s.full = true
+	s.value = pkt.Value
+	s.arrival = cycle
+	u.outstanding--
+	u.stats.Returned++
+	u.arrivals = append(u.arrivals, cycle)
+	return true
+}
+
+// TryConsume returns the next element in request order if it has arrived
+// and cleared the CE-side transfer pipeline (CELoadOverhead cycles).
+func (u *PFU) TryConsume(cycle int64) (int64, bool) {
+	if u.consumeIdx >= u.length {
+		return 0, false
+	}
+	s := &u.buf[u.consumeIdx]
+	if !s.full || cycle < s.arrival+int64(u.p.CELoadOverhead) {
+		return 0, false
+	}
+	u.consumeIdx++
+	return s.value, true
+}
+
+// Consumed reports how many elements the CE has taken from the buffer.
+func (u *PFU) Consumed() int { return u.consumeIdx }
+
+// flushBlock reports the completed (or abandoned) block to the observer.
+func (u *PFU) flushBlock() {
+	if u.fired && u.observe != nil && u.firstIssue >= 0 && len(u.arrivals) > 0 {
+		arr := make([]int64, len(u.arrivals))
+		copy(arr, u.arrivals)
+		u.observe(u.firstIssue, arr)
+	}
+	u.fired = false
+}
+
+// Finish flushes monitor data for the current block once Done; call it
+// before reusing the PFU for an unrelated block without re-arming.
+func (u *PFU) Finish() {
+	if u.Done() {
+		u.flushBlock()
+	}
+}

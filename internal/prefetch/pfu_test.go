@@ -1,0 +1,278 @@
+package prefetch
+
+import (
+	"testing"
+
+	"cedar/internal/gmem"
+	"cedar/internal/network"
+	"cedar/internal/params"
+	"cedar/internal/sim"
+)
+
+// rig wires one PFU to memory through real fabrics, with a glue component
+// that drains the reverse port into the PFU (the CE's role).
+type rig struct {
+	p          params.Machine
+	eng        *sim.Engine
+	pfu        *PFU
+	mem        *gmem.Memory
+	autoResume bool // resume immediately on page crossing, as a CE would
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	p := params.Default()
+	fwd := network.NewOmega(network.OmegaConfig{Name: "fwd", Ports: p.NetPorts, Radix: p.NetRadix, QueueWords: p.NetQueueWords})
+	rev := network.NewOmega(network.OmegaConfig{Name: "rev", Ports: p.NetPorts, Radix: p.NetRadix, QueueWords: p.NetQueueWords})
+	mem := gmem.New(p, fwd, rev, nil)
+	pfu := New(p, 0, fwd, mem.ModuleFor)
+	eng := sim.New()
+	r := &rig{p: p, eng: eng, pfu: pfu, mem: mem}
+	drainer := sim.Func{ID: "ce0", F: func(cycle int64) {
+		for {
+			pkt := rev.Poll(0)
+			if pkt == nil {
+				break
+			}
+			if !pfu.Deliver(pkt, cycle) {
+				t.Fatalf("non-PFU reply: %v", pkt)
+			}
+		}
+		if r.autoResume && pfu.Suspended() {
+			pfu.Resume(pfu.PendingAddr())
+		}
+		pfu.Tick(cycle)
+	}}
+	eng.Register(drainer, fwd, mem, rev)
+	return r
+}
+
+func (r *rig) runUntilDone(t *testing.T, limit int64) {
+	t.Helper()
+	if err := r.eng.RunUntil(r.pfu.Done, limit); err != nil {
+		t.Fatalf("prefetch did not complete: %v", err)
+	}
+}
+
+func TestPrefetchBlockCompletes(t *testing.T) {
+	r := newRig(t)
+	for i := 0; i < 32; i++ {
+		r.mem.Store().StoreWord(uint64(100+2*i), int64(1000+i))
+	}
+	if err := r.pfu.Arm(32, 2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.pfu.Fire(100); err != nil {
+		t.Fatal(err)
+	}
+	r.runUntilDone(t, 10000)
+
+	// Consume in order with correct values.
+	deadline := r.eng.Cycle() + int64(r.p.CELoadOverhead) + 5
+	got := 0
+	for cycle := r.eng.Cycle(); cycle < deadline && got < 32; cycle++ {
+		for {
+			v, ok := r.pfu.TryConsume(cycle)
+			if !ok {
+				break
+			}
+			if v != int64(1000+got) {
+				t.Fatalf("element %d = %d, want %d", got, v, 1000+got)
+			}
+			got++
+		}
+	}
+	if got != 32 {
+		t.Fatalf("consumed %d, want 32", got)
+	}
+	st := r.pfu.Stats()
+	if st.Issued != 32 || st.Returned != 32 {
+		t.Errorf("stats %+v, want 32 issued/returned", st)
+	}
+}
+
+func TestPrefetchStreamsOnePerCycle(t *testing.T) {
+	// A 256-word unit-stride block should stream at ≈1 word/cycle once
+	// the pipeline fills: this is the whole point of the PFU versus the
+	// 2-outstanding CE limit.
+	r := newRig(t)
+	const n = 256
+	if err := r.pfu.Arm(n, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	var rec struct {
+		first    int64
+		arrivals []int64
+	}
+	r.pfu.SetObserver(func(first int64, arr []int64) {
+		rec.first = first
+		rec.arrivals = arr
+	})
+	if err := r.pfu.Fire(0); err != nil {
+		t.Fatal(err)
+	}
+	r.runUntilDone(t, 10000)
+	r.pfu.Finish()
+	if len(rec.arrivals) != n {
+		t.Fatalf("observer saw %d arrivals, want %d", len(rec.arrivals), n)
+	}
+	lat := rec.arrivals[0] - rec.first
+	if lat != 8 {
+		t.Errorf("first-word latency = %d, want 8 (unloaded minimum)", lat)
+	}
+	span := rec.arrivals[len(rec.arrivals)-1] - rec.arrivals[0]
+	inter := float64(span) / float64(n-1)
+	if inter > 1.05 {
+		t.Errorf("interarrival %.3f cycles, want ≈1 (unloaded minimum)", inter)
+	}
+}
+
+func TestPrefetchModuleConflictStride(t *testing.T) {
+	// Stride = MemModules hits a single module: service rate 1/cycle but
+	// every word comes from the same place, so interarrival stays ≈1 —
+	// while stride of 2×MemModules on the same module is identical. The
+	// interesting contrast is a power-of-two stride that hits only half
+	// the modules from two PFUs... here we just verify a single PFU on a
+	// single module still streams at the module service rate.
+	r := newRig(t)
+	r.autoResume = true
+	const n = 128
+	if err := r.pfu.Arm(n, int64(r.p.MemModules), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.pfu.Fire(0); err != nil {
+		t.Fatal(err)
+	}
+	r.runUntilDone(t, 10000)
+	cyc := r.eng.Cycle()
+	limit := int64(n*r.p.MemService) + 60
+	if cyc > limit {
+		t.Errorf("single-module stream took %d cycles for %d words (limit %d)", cyc, n, limit)
+	}
+}
+
+func TestPageCrossingSuspends(t *testing.T) {
+	r := newRig(t)
+	page := uint64(r.p.PageWords)
+	// Start 4 words before a page boundary; the 5th address crosses.
+	start := page - 4
+	if err := r.pfu.Arm(16, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.pfu.Fire(start); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.eng.RunUntil(r.pfu.Suspended, 1000); err != nil {
+		t.Fatalf("never suspended: %v", err)
+	}
+	if got := r.pfu.Stats().Issued; got != 4 {
+		t.Errorf("issued %d before suspend, want 4", got)
+	}
+	r.pfu.Resume(page)
+	r.runUntilDone(t, 10000)
+	if got := r.pfu.Stats().Issued; got != 16 {
+		t.Errorf("issued %d total, want 16", got)
+	}
+	if r.pfu.Stats().Suspends != 1 {
+		t.Errorf("suspends = %d, want 1", r.pfu.Stats().Suspends)
+	}
+}
+
+func TestRearmInvalidatesOutstanding(t *testing.T) {
+	r := newRig(t)
+	if err := r.pfu.Arm(64, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.pfu.Fire(0); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.Run(6) // a few requests in flight, none returned yet
+	if err := r.pfu.Arm(8, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.pfu.Fire(5000); err != nil {
+		t.Fatal(err)
+	}
+	r.runUntilDone(t, 10000)
+	st := r.pfu.Stats()
+	if st.Dropped == 0 {
+		t.Error("expected stale replies to be dropped after re-arm")
+	}
+	if r.pfu.Consumed() != 0 {
+		t.Error("nothing consumed yet")
+	}
+	// All 8 fresh words must be consumable.
+	got := 0
+	for cycle := r.eng.Cycle(); got < 8 && cycle < r.eng.Cycle()+100; cycle++ {
+		for {
+			if _, ok := r.pfu.TryConsume(cycle); !ok {
+				break
+			}
+			got++
+		}
+	}
+	if got != 8 {
+		t.Fatalf("consumed %d after re-arm, want 8", got)
+	}
+}
+
+func TestMaskSkipsElements(t *testing.T) {
+	r := newRig(t)
+	mask := make([]bool, 16)
+	for i := range mask {
+		mask[i] = i%2 == 0
+	}
+	if err := r.pfu.Arm(16, 1, mask); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.pfu.Fire(0); err != nil {
+		t.Fatal(err)
+	}
+	r.runUntilDone(t, 10000)
+	if got := r.pfu.Stats().Issued; got != 8 {
+		t.Errorf("issued %d with half mask, want 8", got)
+	}
+}
+
+func TestArmValidation(t *testing.T) {
+	r := newRig(t)
+	if err := r.pfu.Arm(0, 1, nil); err == nil {
+		t.Error("length 0 accepted")
+	}
+	if err := r.pfu.Arm(r.p.PFUBufferWords+1, 1, nil); err == nil {
+		t.Error("oversized block accepted")
+	}
+	if err := r.pfu.Arm(4, 1, make([]bool, 3)); err == nil {
+		t.Error("mismatched mask accepted")
+	}
+	if err := r.pfu.Fire(0); err == nil {
+		t.Error("Fire without Arm accepted")
+	}
+	if err := r.pfu.Arm(4, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.pfu.Fire(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.pfu.Fire(0); err == nil {
+		t.Error("double Fire accepted")
+	}
+}
+
+func TestConsumeRespectsCEOverhead(t *testing.T) {
+	r := newRig(t)
+	if err := r.pfu.Arm(1, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.pfu.Fire(0); err != nil {
+		t.Fatal(err)
+	}
+	r.runUntilDone(t, 1000)
+	arrived := r.eng.Cycle()
+	if _, ok := r.pfu.TryConsume(arrived); ok {
+		t.Error("consumable immediately at arrival; CE transfer overhead ignored")
+	}
+	if _, ok := r.pfu.TryConsume(arrived + int64(r.p.CELoadOverhead)); !ok {
+		t.Error("not consumable after CE overhead elapsed")
+	}
+}

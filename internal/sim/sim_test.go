@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestStepIncrementsCycle(t *testing.T) {
+	e := New()
+	if e.Cycle() != 0 {
+		t.Fatalf("new engine cycle = %d, want 0", e.Cycle())
+	}
+	e.Step()
+	e.Step()
+	if e.Cycle() != 2 {
+		t.Fatalf("cycle after two steps = %d, want 2", e.Cycle())
+	}
+}
+
+func TestTickOrderAndCycleValue(t *testing.T) {
+	e := New()
+	var order []string
+	var seen []int64
+	mk := func(id string) Func {
+		return Func{ID: id, F: func(c int64) {
+			order = append(order, id)
+			seen = append(seen, c)
+		}}
+	}
+	e.Register(mk("a"), mk("b"))
+	e.Register(mk("c"))
+	e.Run(2)
+
+	want := []string{"a", "b", "c", "a", "b", "c"}
+	if len(order) != len(want) {
+		t.Fatalf("got %d ticks, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Errorf("tick %d = %q, want %q", i, order[i], want[i])
+		}
+	}
+	for i, c := range seen {
+		if wantC := int64(i / 3); c != wantC {
+			t.Errorf("tick %d saw cycle %d, want %d", i, c, wantC)
+		}
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	count := 0
+	e.Register(Func{ID: "counter", F: func(int64) { count++ }})
+	if err := e.RunUntil(func() bool { return count >= 5 }, 100); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if count != 5 {
+		t.Errorf("count = %d, want 5", count)
+	}
+	if e.Cycle() != 5 {
+		t.Errorf("cycle = %d, want 5", e.Cycle())
+	}
+}
+
+func TestRunUntilLimit(t *testing.T) {
+	e := New()
+	err := e.RunUntil(func() bool { return false }, 10)
+	if !errors.Is(err, ErrCycleLimit) {
+		t.Fatalf("err = %v, want ErrCycleLimit", err)
+	}
+	if e.Cycle() != 10 {
+		t.Errorf("cycle = %d, want 10", e.Cycle())
+	}
+}
+
+type idleAfter struct {
+	n    int64
+	tick int64
+}
+
+func (i *idleAfter) Name() string     { return "idleAfter" }
+func (i *idleAfter) Tick(cycle int64) { i.tick = cycle + 1 }
+func (i *idleAfter) Idle() bool       { return i.tick >= i.n }
+
+func TestRunUntilIdle(t *testing.T) {
+	e := New()
+	e.Register(&idleAfter{n: 7}, &idleAfter{n: 3})
+	if err := e.RunUntilIdle(100); err != nil {
+		t.Fatalf("RunUntilIdle: %v", err)
+	}
+	if e.Cycle() != 7 {
+		t.Errorf("cycle = %d, want 7 (slowest component)", e.Cycle())
+	}
+}
+
+func TestRunUntilIdleLimit(t *testing.T) {
+	e := New()
+	e.Register(&idleAfter{n: 1 << 40})
+	if err := e.RunUntilIdle(5); !errors.Is(err, ErrCycleLimit) {
+		t.Fatalf("err = %v, want ErrCycleLimit", err)
+	}
+}
+
+func TestComponentsCount(t *testing.T) {
+	e := New()
+	e.Register(Func{ID: "x", F: func(int64) {}})
+	if e.Components() != 1 {
+		t.Errorf("Components() = %d, want 1", e.Components())
+	}
+}

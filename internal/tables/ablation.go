@@ -1,0 +1,179 @@
+package tables
+
+import (
+	"fmt"
+
+	"cedar/internal/ce"
+	"cedar/internal/cfrt"
+	"cedar/internal/core"
+	"cedar/internal/kernels"
+	"cedar/internal/params"
+)
+
+// NetworkAblationRow is one fabric configuration's result on the
+// 32-CE prefetched rank-64 update.
+type NetworkAblationRow struct {
+	Config  string
+	MFLOPS  float64
+	Latency float64
+	Inter   float64
+}
+
+// RunNetworkAblation supports the [Turn93] claim quoted in §4.1: the
+// contention degradation "is not inherent in the type of network used but
+// is a result of specific implementation constraints". It runs the
+// prefetched rank-64 update on all 32 CEs under the omega network as
+// built (2-word queues), an omega with deeper (8-word) queues, and an
+// ideal crossbar of the same port bandwidth.
+func RunNetworkAblation(n int) ([]NetworkAblationRow, error) {
+	configs := []struct {
+		name string
+		opt  core.Options
+	}{
+		{"omega 2-word queues (as built)", core.Options{Fabric: core.FabricOmega}},
+		{"omega 8-word queues", core.Options{Fabric: core.FabricOmega, QueueWords: 8}},
+		{"ideal crossbar", core.Options{Fabric: core.FabricCrossbar}},
+	}
+	var rows []NetworkAblationRow
+	for _, cfg := range configs {
+		m, err := core.New(params.Default(), cfg.opt)
+		if err != nil {
+			return nil, err
+		}
+		out, err := kernels.RankUpdate(m, n, kernels.RKPref)
+		if err != nil {
+			return nil, fmt.Errorf("ablation %s: %w", cfg.name, err)
+		}
+		rows = append(rows, NetworkAblationRow{
+			Config:  cfg.name,
+			MFLOPS:  out.MFLOPS,
+			Latency: out.Blocks.MeanLatency(),
+			Inter:   out.Blocks.MeanInterarrival(),
+		})
+	}
+	return rows, nil
+}
+
+// FormatNetworkAblation renders the ablation.
+func FormatNetworkAblation(rows []NetworkAblationRow) string {
+	header := []string{"network", "MFLOPS", "latency", "interarrival"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Config,
+			fmt.Sprintf("%.1f", r.MFLOPS),
+			fmt.Sprintf("%.1f", r.Latency),
+			fmt.Sprintf("%.2f", r.Inter),
+		})
+	}
+	s := formatTable(header, out)
+	s += "[Turn93]: degradation is an implementation constraint (shallow queues), not the network type\n"
+	return s
+}
+
+// PrefetchBlockRow is one prefetch block size's rank-update rate.
+type PrefetchBlockRow struct {
+	Block  int // 0 = no prefetch
+	MFLOPS float64
+}
+
+// RunPrefetchBlockAblation isolates design choice 2 of DESIGN.md: the
+// compiler's 32-word blocks versus RK's aggressive 256-word blocks versus
+// no prefetch, on one cluster.
+func RunPrefetchBlockAblation(n int) ([]PrefetchBlockRow, error) {
+	p := params.Default()
+	p.Clusters = 1
+	var rows []PrefetchBlockRow
+	for _, block := range []int{0, 32, 128, 256, 512} {
+		m, err := core.New(p, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		aBase := m.AllocGlobalAligned(n*64, 64)
+		body := func(j int) []*ce.Instr {
+			ins := make([]*ce.Instr, 0, 64)
+			for k := 0; k < 64; k++ {
+				ins = append(ins, &ce.Instr{
+					Op: ce.OpVector, N: n, Flops: 2,
+					Srcs: []ce.Stream{{Space: ce.SpaceGlobal, Base: aBase + uint64(k*n), Stride: 1, PrefBlock: block}},
+				})
+			}
+			return ins
+		}
+		rt := cfrt.New(m, cfrt.Config{UseCedarSync: true},
+			cfrt.XDoall{N: n / 8, Static: true, Body: body})
+		res, err := rt.Run(1 << 40)
+		if err != nil {
+			return nil, fmt.Errorf("prefetch block %d: %w", block, err)
+		}
+		rows = append(rows, PrefetchBlockRow{Block: block, MFLOPS: res.MFLOPS})
+	}
+	return rows, nil
+}
+
+// FormatPrefetchBlock renders the block-size ablation.
+func FormatPrefetchBlock(rows []PrefetchBlockRow) string {
+	header := []string{"prefetch block (words)", "MFLOPS (1 cluster)"}
+	var out [][]string
+	for _, r := range rows {
+		b := "none"
+		if r.Block > 0 {
+			b = fmt.Sprintf("%d", r.Block)
+		}
+		out = append(out, []string{b, fmt.Sprintf("%.1f", r.MFLOPS)})
+	}
+	return formatTable(header, out)
+}
+
+// ScaledRow is one machine size in the PPT5 probe.
+type ScaledRow struct {
+	Clusters int
+	CEs      int
+	RKMFLOPS float64
+	CGMFLOPS float64
+}
+
+// RunScaledCedar probes PPT5 (§4.3's closing note: "collecting detailed
+// simulation data for various computations on scaled-up Cedar-like
+// systems"): the prefetched rank-64 update and CG on Cedar scaled to 8
+// clusters with a proportionally larger network and memory system.
+func RunScaledCedar(n int) ([]ScaledRow, error) {
+	var rows []ScaledRow
+	for _, clusters := range []int{4, 8} {
+		pm := params.Scaled(clusters)
+		m, err := core.New(pm, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		rk, err := kernels.RankUpdate(m, n, kernels.RKPref)
+		if err != nil {
+			return nil, fmt.Errorf("scaled RK %d clusters: %w", clusters, err)
+		}
+		m2, err := core.New(pm, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		cg, err := kernels.CG(m2, kernels.CGConfig{N: 32 << 10, Iters: 2})
+		if err != nil {
+			return nil, fmt.Errorf("scaled CG %d clusters: %w", clusters, err)
+		}
+		rows = append(rows, ScaledRow{
+			Clusters: clusters, CEs: pm.CEs(),
+			RKMFLOPS: rk.MFLOPS, CGMFLOPS: cg.MFLOPS,
+		})
+	}
+	return rows, nil
+}
+
+// FormatScaled renders the PPT5 probe.
+func FormatScaled(rows []ScaledRow) string {
+	header := []string{"clusters", "CEs", "RK GM/pref MFLOPS", "CG 32K MFLOPS"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			fmt.Sprintf("%d", r.Clusters), fmt.Sprintf("%d", r.CEs),
+			fmt.Sprintf("%.1f", r.RKMFLOPS), fmt.Sprintf("%.1f", r.CGMFLOPS),
+		})
+	}
+	return formatTable(header, out)
+}

@@ -1,0 +1,69 @@
+package tables
+
+import (
+	"fmt"
+
+	"cedar/internal/core"
+	"cedar/internal/kernels"
+	"cedar/internal/params"
+)
+
+// MemBWResult is the memory-system characterization study of [GJTV91],
+// which the paper invokes to explain Table 1 ("consistent with the
+// observed maximum bandwidth of memory system characterization
+// benchmarks"): delivered aggregate bandwidth versus processor count and
+// access stride.
+type MemBWResult struct {
+	Points []kernels.MemBWPoint
+}
+
+// RunMemBW executes the sweep: CE counts across the machine, with unit
+// stride (all modules), a half-modules power-of-two stride, and the
+// full-conflict stride that serializes every reference on one module.
+func RunMemBW(wordsPerCE int) (*MemBWResult, error) {
+	p := params.Default()
+	res := &MemBWResult{}
+	for _, nCE := range []int{1, 2, 4, 8, 16, 32} {
+		for _, stride := range []int64{1, 2, int64(p.MemModules)} {
+			m, err := core.New(p, core.Options{})
+			if err != nil {
+				return nil, err
+			}
+			pt, err := kernels.MemBW(m, nCE, stride, wordsPerCE)
+			if err != nil {
+				return nil, fmt.Errorf("membw nCE=%d stride=%d: %w", nCE, stride, err)
+			}
+			res.Points = append(res.Points, pt)
+		}
+	}
+	return res, nil
+}
+
+// PeakMBps returns the best observed aggregate bandwidth.
+func (r *MemBWResult) PeakMBps() float64 {
+	best := 0.0
+	for _, pt := range r.Points {
+		if pt.MBps > best {
+			best = pt.MBps
+		}
+	}
+	return best
+}
+
+// Format renders the characterization.
+func (r *MemBWResult) Format() string {
+	header := []string{"CEs", "stride", "words/cycle", "MB/s"}
+	var rows [][]string
+	for _, pt := range r.Points {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", pt.CEs),
+			fmt.Sprintf("%d", pt.Stride),
+			fmt.Sprintf("%.2f", pt.WordsPerCycle),
+			fmt.Sprintf("%.0f", pt.MBps),
+		})
+	}
+	s := "memory system characterization [GJTV91]\n"
+	s += formatTable(header, rows)
+	s += fmt.Sprintf("observed peak %.0f MB/s (wiring peak 768 MB/s; the companion study sustained ≈500)\n", r.PeakMBps())
+	return s
+}

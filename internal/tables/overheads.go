@@ -1,0 +1,125 @@
+package tables
+
+import (
+	"fmt"
+
+	"cedar/internal/ce"
+	"cedar/internal/cfrt"
+	"cedar/internal/core"
+	"cedar/internal/params"
+)
+
+// OverheadsResult measures the §3.2 runtime library costs on the
+// simulated machine: XDOALL startup (paper: ≈90 µs), per-iteration fetch
+// without Cedar synchronization (≈30 µs), the same with Cedar
+// synchronization, and CDOALL start (a few µs on the concurrency control
+// bus).
+type OverheadsResult struct {
+	XDoallStartupUS  float64
+	FetchNoSyncUS    float64
+	FetchCedarSyncUS float64
+	CDoallStartUS    float64
+}
+
+// RunOverheads performs the microbenchmarks.
+func RunOverheads() (*OverheadsResult, error) {
+	res := &OverheadsResult{}
+
+	// XDOALL startup: cycles from loop entry until the first iteration
+	// body executes (the paper's "typical loop startup latency").
+	t1, err := timeToFirstIteration()
+	if err != nil {
+		return nil, err
+	}
+	res.XDoallStartupUS = t1 * 1e6
+
+	// Iteration fetch: the marginal cost per iteration of an empty loop,
+	// measured on one CE to avoid overlap (iterations - 1 extra fetches).
+	const iters = 64
+	tMany, err := timeXDoallOneCE(iters, false)
+	if err != nil {
+		return nil, err
+	}
+	tOne, err := timeXDoallOneCE(1, false)
+	if err != nil {
+		return nil, err
+	}
+	res.FetchNoSyncUS = (tMany - tOne) / float64(iters-1) * 1e6
+
+	tManyS, err := timeXDoallOneCE(iters, true)
+	if err != nil {
+		return nil, err
+	}
+	tOneS, err := timeXDoallOneCE(1, true)
+	if err != nil {
+		return nil, err
+	}
+	res.FetchCedarSyncUS = (tManyS - tOneS) / float64(iters-1) * 1e6
+
+	// CDOALL start: booked cost of the concurrent-start broadcast.
+	res.CDoallStartUS = float64(params.Default().CDoallStart) * params.CycleNS / 1e3
+	return res, nil
+}
+
+func emptyBody(int) []*ce.Instr {
+	return []*ce.Instr{{Op: ce.OpScalar, Cycles: 1}}
+}
+
+// timeToFirstIteration measures XDOALL startup: the delay before any CE
+// executes the first iteration of a freshly started machine-wide loop.
+func timeToFirstIteration() (float64, error) {
+	m, err := core.New(params.Default(), core.Options{})
+	if err != nil {
+		return 0, err
+	}
+	first := int64(-1)
+	body := func(int) []*ce.Instr {
+		return []*ce.Instr{{Op: ce.OpScalar, Cycles: 1, OnDone: func(cy int64) {
+			if first < 0 {
+				first = cy
+			}
+		}}}
+	}
+	rt := cfrt.New(m, cfrt.Config{UseCedarSync: true}, cfrt.XDoall{N: 64, Body: body})
+	if _, err := rt.Run(100_000_000); err != nil {
+		return 0, err
+	}
+	return params.CyclesToSeconds(first), nil
+}
+
+func timeXDoall(n int, sync bool) (float64, error) {
+	m, err := core.New(params.Default(), core.Options{})
+	if err != nil {
+		return 0, err
+	}
+	rt := cfrt.New(m, cfrt.Config{UseCedarSync: sync}, cfrt.XDoall{N: n, Body: emptyBody})
+	res, err := rt.Run(100_000_000)
+	if err != nil {
+		return 0, err
+	}
+	return res.Seconds, nil
+}
+
+func timeXDoallOneCE(n int, sync bool) (float64, error) {
+	m, err := core.New(params.Default(), core.Options{})
+	if err != nil {
+		return 0, err
+	}
+	rt := cfrt.New(m, cfrt.Config{UseCedarSync: sync, MaxCEs: 1},
+		cfrt.XDoall{N: n, Body: emptyBody})
+	res, err := rt.Run(100_000_000)
+	if err != nil {
+		return 0, err
+	}
+	return res.Seconds, nil
+}
+
+// Format renders the measurements.
+func (o *OverheadsResult) Format() string {
+	return fmt.Sprintf(`runtime library overheads (measured on the simulated machine)
+XDOALL loop startup:              %6.1f µs   (paper: ≈90 µs)
+XDOALL iteration fetch (library): %6.1f µs   (paper: ≈30 µs)
+XDOALL iteration fetch (Cedar sync): %5.1f µs  (the hardware-synchronization win)
+CDOALL concurrent start:          %6.1f µs   (paper: a few µs)
+`, o.XDoallStartupUS, o.FetchNoSyncUS, o.FetchCedarSyncUS, o.CDoallStartUS)
+}

@@ -1,0 +1,138 @@
+package tables
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"cedar/internal/params"
+	"cedar/internal/perfect"
+)
+
+// ReportConfig selects what the full report includes and at what scale.
+type ReportConfig struct {
+	// RankN is the rank-64 update order (paper: 1K; default 256).
+	RankN int
+	// FullPPT4 includes the paper's largest CG sizes.
+	FullPPT4 bool
+	// Codes restricts the Perfect suite (nil = all 13).
+	Codes []perfect.Profile
+	// Progress receives per-run lines (nil = quiet).
+	Progress io.Writer
+	// SkipKernels / SkipPerfect / SkipMethodology drop report sections.
+	SkipKernels     bool
+	SkipPerfect     bool
+	SkipMethodology bool
+}
+
+// WriteReport regenerates the paper's complete evaluation and writes a
+// markdown-ish report to w. It is the programmatic equivalent of running
+// cedarsim, perfect and judge back to back.
+func WriteReport(w io.Writer, cfg ReportConfig) error {
+	if cfg.RankN == 0 {
+		cfg.RankN = 256
+	}
+	started := time.Now()
+	fmt.Fprintf(w, "# Cedar evaluation report\n\n")
+	fmt.Fprintf(w, "machine: %d clusters × %d CEs, %.0f MFLOPS peak, %.0f effective\n\n",
+		params.Default().Clusters, params.Default().CEsPerCluster,
+		params.Default().PeakMFLOPS(), params.Default().EffectivePeakMFLOPS())
+
+	section := func(title string) { fmt.Fprintf(w, "\n## %s\n\n", title) }
+
+	if !cfg.SkipKernels {
+		section("§3.2 runtime overheads")
+		ov, err := RunOverheads()
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, ov.Format())
+
+		section(fmt.Sprintf("Table 1 — rank-64 update (n=%d)", cfg.RankN))
+		t1, err := RunTable1(cfg.RankN)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, t1.Format())
+
+		section("Table 2 — global memory performance")
+		t2, err := RunTable2Small()
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, t2.Format())
+
+		section("[GJTV91] memory characterization")
+		bw, err := RunMemBW(2048)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, bw.Format())
+
+		section("[Turn93] network ablation")
+		net, err := RunNetworkAblation(cfg.RankN)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, FormatNetworkAblation(net))
+
+		section("Prefetch block-size ablation")
+		pref, err := RunPrefetchBlockAblation(cfg.RankN)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, FormatPrefetchBlock(pref))
+
+		section("Loop scheduling ablation")
+		sched, err := RunSchedulingAblation()
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, FormatScheduling(sched))
+
+		section("PPT5 probe — scaled Cedar")
+		scaled, err := RunScaledCedar(cfg.RankN)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, FormatScaled(scaled))
+	}
+
+	var suite *SuiteResult
+	if !cfg.SkipPerfect || !cfg.SkipMethodology {
+		var err error
+		suite, err = RunSuite(params.Default(), cfg.Codes, cfg.Progress)
+		if err != nil {
+			return err
+		}
+	}
+
+	if !cfg.SkipPerfect {
+		section("Table 3 — Perfect Benchmarks")
+		fmt.Fprint(w, BuildTable3(suite).Format())
+
+		section("Table 4 — manually altered Perfect codes")
+		fmt.Fprint(w, FormatTable4(BuildTable4(suite)))
+	}
+
+	if !cfg.SkipMethodology {
+		section("Table 5 — instability")
+		fmt.Fprint(w, BuildTable5(suite).Format())
+
+		section("Table 6 — restructuring efficiency")
+		fmt.Fprint(w, BuildTable6(suite).Format())
+
+		section("Figure 3 — YMP/8 vs Cedar efficiency")
+		fmt.Fprint(w, BuildFigure3(suite).Format())
+
+		section("PPT4 — scalability")
+		p4, err := RunPPT4(cfg.FullPPT4)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, p4.Format())
+	}
+
+	fmt.Fprintf(w, "\n---\nreport generated in %s of host time\n", time.Since(started).Round(time.Second))
+	return nil
+}

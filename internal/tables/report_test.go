@@ -1,0 +1,64 @@
+package tables
+
+import (
+	"strings"
+	"testing"
+
+	"cedar/internal/perfect"
+)
+
+func TestWriteReportKernelsOnly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("report generation in -short mode")
+	}
+	var b strings.Builder
+	err := WriteReport(&b, ReportConfig{
+		RankN:           96,
+		SkipPerfect:     true,
+		SkipMethodology: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# Cedar evaluation report",
+		"Table 1", "Table 2", "GM/no-pref",
+		"runtime overheads", "memory characterization",
+		"network ablation", "scheduling ablation", "scaled Cedar",
+		"report generated",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if strings.Contains(out, "Table 3") {
+		t.Error("kernels-only report should skip the Perfect suite")
+	}
+}
+
+func TestWriteReportMethodologySections(t *testing.T) {
+	if testing.Short() {
+		t.Skip("report generation in -short mode")
+	}
+	var b strings.Builder
+	err := WriteReport(&b, ReportConfig{
+		SkipKernels: true,
+		Codes:       []perfect.Profile{perfect.QCD(), perfect.SPICE()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"Table 3", "Table 4", "Table 5", "Table 6", "Figure 3", "PPT4",
+		"QCD", "SPICE",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if strings.Contains(out, "Table 1 —") {
+		t.Error("kernel sections should be skipped")
+	}
+}

@@ -1,0 +1,91 @@
+package tables
+
+import (
+	"fmt"
+
+	"cedar/internal/core"
+	"cedar/internal/kernels"
+	"cedar/internal/params"
+)
+
+// Table1 reproduces "MFLOPS for rank-64 update on Cedar": three memory
+// variants across 1-4 clusters. The paper's values (n = 1K):
+//
+//	GM/no-pref  14.5   29.0   43.0   55.0
+//	GM/pref     50.0   84.0   96.0  104.0
+//	GM/cache    52.0  104.0  152.0  208.0
+type Table1Result struct {
+	N      int
+	Modes  []kernels.RKMode
+	MFLOPS [][]float64 // [mode][clusters-1]
+}
+
+// RunTable1 executes the sweep. n is the matrix order (the paper used 1K;
+// 256 preserves the shape at a fraction of the simulation cost).
+func RunTable1(n int) (*Table1Result, error) {
+	modes := []kernels.RKMode{kernels.RKNoPref, kernels.RKPref, kernels.RKCache}
+	res := &Table1Result{N: n, Modes: modes, MFLOPS: make([][]float64, len(modes))}
+	for mi, mode := range modes {
+		res.MFLOPS[mi] = make([]float64, 4)
+		for clusters := 1; clusters <= 4; clusters++ {
+			p := params.Default()
+			p.Clusters = clusters
+			m, err := core.New(p, core.Options{})
+			if err != nil {
+				return nil, err
+			}
+			out, err := kernels.RankUpdate(m, n, mode)
+			if err != nil {
+				return nil, fmt.Errorf("table1 %v %d clusters: %w", mode, clusters, err)
+			}
+			res.MFLOPS[mi][clusters-1] = out.MFLOPS
+		}
+	}
+	return res, nil
+}
+
+// PrefetchGain returns GM/pref over GM/no-pref per cluster count (the
+// paper: 3.5, 2.9, 2.2, 1.9).
+func (t *Table1Result) PrefetchGain() []float64 {
+	g := make([]float64, 4)
+	for c := 0; c < 4; c++ {
+		g[c] = t.MFLOPS[1][c] / t.MFLOPS[0][c]
+	}
+	return g
+}
+
+// CacheGain returns GM/cache over GM/no-pref per cluster count (the
+// paper: 3.5 ... 3.8).
+func (t *Table1Result) CacheGain() []float64 {
+	g := make([]float64, 4)
+	for c := 0; c < 4; c++ {
+		g[c] = t.MFLOPS[2][c] / t.MFLOPS[0][c]
+	}
+	return g
+}
+
+// CacheEfficiency returns the 4-cluster GM/cache rate as a fraction of
+// the effective (vector-startup-limited) peak; the paper reports 74%.
+func (t *Table1Result) CacheEfficiency() float64 {
+	return t.MFLOPS[2][3] / params.Default().EffectivePeakMFLOPS()
+}
+
+// Format renders the table in the paper's layout.
+func (t *Table1Result) Format() string {
+	header := []string{fmt.Sprintf("rank-64 n=%d", t.N), "1 cl.", "2 cl.", "3 cl.", "4 cl."}
+	var rows [][]string
+	for mi, mode := range t.Modes {
+		row := []string{mode.String()}
+		for c := 0; c < 4; c++ {
+			row = append(row, fmt.Sprintf("%.1f", t.MFLOPS[mi][c]))
+		}
+		rows = append(rows, row)
+	}
+	s := formatTable(header, rows)
+	g := t.PrefetchGain()
+	s += fmt.Sprintf("prefetch gain: %.1f %.1f %.1f %.1f (paper: 3.5 2.9 2.2 1.9)\n",
+		g[0], g[1], g[2], g[3])
+	s += fmt.Sprintf("GM/cache 4-cluster efficiency vs effective peak: %.0f%% (paper: 74%%)\n",
+		100*t.CacheEfficiency())
+	return s
+}

@@ -1,0 +1,118 @@
+package tables
+
+import (
+	"fmt"
+
+	"cedar/internal/core"
+	"cedar/internal/kernels"
+	"cedar/internal/params"
+)
+
+// Table2 reproduces "Global memory performance": mean first-word latency
+// and interarrival time (CE cycles, minimums 8 and 1) of CE 0's prefetch
+// requests for four kernels — vector load (VL), tridiagonal matvec (TM),
+// rank-64 update (RK, 256-word blocks, aggressively overlapped), and
+// conjugate gradient (CG) — on 8, 16 and 32 processors. The paper's
+// finding: contention degrades both metrics as CEs are added; RK degrades
+// most (longest blocks, fully overlapped), VL less (32-word blocks), TM
+// and CG least (register-register operations reduce memory demand).
+type Table2Result struct {
+	Kernels []string
+	CEs     []int
+	Latency map[string]map[int]float64
+	Inter   map[string]map[int]float64
+	Blocks  map[string]map[int]int64
+}
+
+// table2Sizes keeps each kernel's simulated slice moderate.
+type table2Size struct {
+	vlWords int
+	tmN     int
+	rkN     int
+	cgN     int
+}
+
+// RunTable2 executes the kernel × processor-count sweep.
+func RunTable2() (*Table2Result, error) {
+	return runTable2(table2Size{vlWords: 4096, tmN: 16384, rkN: 192, cgN: 16384})
+}
+
+// RunTable2Small is a reduced version for tests.
+func RunTable2Small() (*Table2Result, error) {
+	return runTable2(table2Size{vlWords: 1024, tmN: 4096, rkN: 96, cgN: 4096})
+}
+
+func runTable2(sz table2Size) (*Table2Result, error) {
+	res := &Table2Result{
+		Kernels: []string{"VL", "TM", "RK", "CG"},
+		CEs:     []int{8, 16, 32},
+		Latency: map[string]map[int]float64{},
+		Inter:   map[string]map[int]float64{},
+		Blocks:  map[string]map[int]int64{},
+	}
+	for _, k := range res.Kernels {
+		res.Latency[k] = map[int]float64{}
+		res.Inter[k] = map[int]float64{}
+		res.Blocks[k] = map[int]int64{}
+	}
+	for _, ces := range res.CEs {
+		p := params.Default()
+		p.Clusters = ces / p.CEsPerCluster
+		run := func(name string, f func(m *core.Machine) (kernels.Result, error)) error {
+			m, err := core.New(p, core.Options{})
+			if err != nil {
+				return err
+			}
+			out, err := f(m)
+			if err != nil {
+				return fmt.Errorf("table2 %s %d CEs: %w", name, ces, err)
+			}
+			res.Latency[name][ces] = out.Blocks.MeanLatency()
+			res.Inter[name][ces] = out.Blocks.MeanInterarrival()
+			res.Blocks[name][ces] = out.Blocks.Blocks()
+			return nil
+		}
+		if err := run("VL", func(m *core.Machine) (kernels.Result, error) {
+			return kernels.VectorLoad(m, sz.vlWords, 2)
+		}); err != nil {
+			return nil, err
+		}
+		if err := run("TM", func(m *core.Machine) (kernels.Result, error) {
+			return kernels.TriMat(m, sz.tmN)
+		}); err != nil {
+			return nil, err
+		}
+		if err := run("RK", func(m *core.Machine) (kernels.Result, error) {
+			return kernels.RankUpdate(m, sz.rkN, kernels.RKPref)
+		}); err != nil {
+			return nil, err
+		}
+		if err := run("CG", func(m *core.Machine) (kernels.Result, error) {
+			return kernels.CG(m, kernels.CGConfig{N: sz.cgN, Iters: 1})
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// Format renders the table.
+func (t *Table2Result) Format() string {
+	header := []string{"kernel"}
+	for _, c := range t.CEs {
+		header = append(header, fmt.Sprintf("lat@%d", c), fmt.Sprintf("int@%d", c))
+	}
+	var rows [][]string
+	for _, k := range t.Kernels {
+		row := []string{k}
+		for _, c := range t.CEs {
+			row = append(row,
+				fmt.Sprintf("%.1f", t.Latency[k][c]),
+				fmt.Sprintf("%.2f", t.Inter[k][c]))
+		}
+		rows = append(rows, row)
+	}
+	s := formatTable(header, rows)
+	s += "minimal latency 8 cycles, minimal interarrival 1 cycle (hardware floors)\n"
+	return s
+}

@@ -1,0 +1,92 @@
+// Package vm models Cedar's virtual memory: 4 KB pages over a physical
+// address space split between cluster and global memory, with per-cluster
+// translation state.
+//
+// The behaviour that matters to the paper is the TRFD study [MaEG92]: a
+// multicluster program takes TLB-miss faults when each additional cluster
+// first accesses pages for which a valid PTE already exists in global
+// memory — the fault does no I/O, but the kernel must still service it.
+// The improved TRFD had almost four times the page faults of the
+// one-cluster version and spent close to 50% of its time in virtual
+// memory activity until a distributed-memory rewrite removed the sharing.
+package vm
+
+import "cedar/internal/params"
+
+// Space identifies which half of the physical address space a page
+// belongs to: cluster memory in the lower half, global in the upper.
+type Space uint8
+
+// Address spaces.
+const (
+	SpaceCluster Space = iota
+	SpaceGlobal
+)
+
+// PageTable tracks, per cluster, which global pages the cluster has a
+// valid translation for. It is deliberately simple: the paper's fault
+// behaviour is about first-touch per cluster, not replacement.
+type PageTable struct {
+	p        params.Machine
+	clusters []map[uint64]bool
+	stats    Stats
+}
+
+// Stats counts translation activity.
+type Stats struct {
+	Hits   int64
+	Faults int64
+}
+
+// New builds translation state for a machine.
+func New(p params.Machine) *PageTable {
+	pt := &PageTable{p: p, clusters: make([]map[uint64]bool, p.Clusters)}
+	for i := range pt.clusters {
+		pt.clusters[i] = make(map[uint64]bool)
+	}
+	return pt
+}
+
+// PageOf returns the page number of a word address.
+func (pt *PageTable) PageOf(addr uint64) uint64 {
+	return addr / uint64(pt.p.PageWords)
+}
+
+// Touch records an access by a cluster to the page holding addr and
+// reports the cycles of translation overhead it costs: zero for a hit,
+// TLBMissCost for the cluster's first touch.
+func (pt *PageTable) Touch(cluster int, addr uint64) int64 {
+	page := pt.PageOf(addr)
+	if pt.clusters[cluster][page] {
+		pt.stats.Hits++
+		return 0
+	}
+	pt.clusters[cluster][page] = true
+	pt.stats.Faults++
+	return int64(pt.p.TLBMissCost)
+}
+
+// Stats returns cumulative counters.
+func (pt *PageTable) Stats() Stats { return pt.stats }
+
+// FirstTouchFaults predicts the fault count for a footprint of the given
+// words shared by n clusters: every cluster first-touches every page
+// (TRFD's "almost four times the page faults" on four clusters).
+func FirstTouchFaults(p params.Machine, footprintWords int64, clusters int) int64 {
+	pages := (footprintWords + int64(p.PageWords) - 1) / int64(p.PageWords)
+	return pages * int64(clusters)
+}
+
+// MulticlusterPenaltySeconds converts the excess faults of a multicluster
+// run over the one-cluster run into wall time: fault service plus the
+// serialization in the kernel's page-table locks makes each excess fault
+// cost PageFaultMul·TLBMissCost cycles of the critical path [MaEG92].
+func MulticlusterPenaltySeconds(p params.Machine, footprintWords int64, clusters int) float64 {
+	if clusters <= 1 {
+		return 0
+	}
+	excess := FirstTouchFaults(p, footprintWords, clusters) -
+		FirstTouchFaults(p, footprintWords, 1)
+	cycles := excess * int64(p.TLBMissCost) * int64(p.PageFaultMul)
+	return params.CyclesToSeconds(cycles)
+}
