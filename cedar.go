@@ -58,6 +58,9 @@ const (
 	FabricCrossbar = core.FabricCrossbar
 )
 
+// CycleNS is the CE instruction cycle time in nanoseconds (170 ns).
+const CycleNS = params.CycleNS
+
 // DefaultParams returns the Cedar machine as built.
 func DefaultParams() Params { return params.Default() }
 
@@ -253,6 +256,14 @@ var (
 
 // RunPPT4 regenerates the CG-vs-CM-5 scalability study.
 func RunPPT4(full bool) (*PPT4Result, error) { return tables.RunPPT4(full) }
+
+// ReportConfig selects what WriteReport includes and at what scale.
+type ReportConfig = tables.ReportConfig
+
+// WriteReport regenerates the paper's complete evaluation as one report.
+// With ReportConfig.Now left nil the output is byte-identical across
+// runs (see the determinism invariants in DESIGN.md).
+var WriteReport = tables.WriteReport
 
 // Multiprogramming: the Xylem OS behaviour the paper's single-user runs
 // avoided.

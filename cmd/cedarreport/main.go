@@ -16,6 +16,7 @@ import (
 	"log"
 	"os"
 	"strings"
+	"time"
 
 	"cedar/internal/perfect"
 	"cedar/internal/tables"
@@ -37,6 +38,9 @@ func main() {
 		RankN:    *n,
 		FullPPT4: *full,
 		Progress: os.Stderr,
+		// The CLI wants the elapsed-time trailer; library callers get
+		// byte-identical reports by leaving Now nil.
+		Now: time.Now,
 	}
 	if *quiet {
 		cfg.Progress = nil

@@ -1,0 +1,137 @@
+// Command cedarvet runs the project's custom static-analysis suite — the
+// determinism and parameter-hygiene invariants the simulator depends on —
+// over the module. It is the multichecker for the analyzers under
+// internal/lint; see DESIGN.md "Determinism invariants and cedarvet".
+//
+// Usage:
+//
+//	cedarvet [-checks list] [package patterns]
+//
+// Patterns default to ./... . Examples:
+//
+//	cedarvet ./...
+//	cedarvet -checks nondeterminism,maporder ./internal/...
+//
+// Findings print as file:line:col: check: message and make the exit
+// status 1; a clean run exits 0 and tool failures exit 2. Individual
+// findings can be waived in the source with a justified directive:
+//
+//	//lint:allow <check> <reason>
+//
+// Scope: maporder, paramhygiene and cycleint run everywhere; the
+// nondeterminism check covers the root package and internal/** (the
+// simulator proper) — commands and examples may legitimately read the
+// wall clock for CLI output.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"cedar/internal/lint"
+	"cedar/internal/lint/cycleint"
+	"cedar/internal/lint/maporder"
+	"cedar/internal/lint/nondeterminism"
+	"cedar/internal/lint/paramhygiene"
+)
+
+// simulatorOnly restricts a check to the model itself.
+func simulatorOnly(pkgPath string) bool {
+	return pkgPath == "cedar" || strings.HasPrefix(pkgPath, "cedar/internal/")
+}
+
+func everywhere(string) bool { return true }
+
+// suite is the full analyzer set with each check's package scope.
+var suite = []struct {
+	analyzer *lint.Analyzer
+	applies  func(pkgPath string) bool
+}{
+	{nondeterminism.Analyzer, simulatorOnly},
+	{maporder.Analyzer, everywhere},
+	{paramhygiene.Analyzer, everywhere},
+	{cycleint.Analyzer, everywhere},
+}
+
+func main() {
+	checks := flag.String("checks", "", "comma-separated subset of checks (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: cedarvet [-checks list] [package patterns]\n\nchecks:\n")
+		for _, s := range suite {
+			fmt.Fprintf(os.Stderr, "  %-16s %s\n", s.analyzer.Name, s.analyzer.Doc)
+		}
+	}
+	flag.Parse()
+
+	enabled := map[string]bool{}
+	if *checks != "" {
+		for _, c := range strings.Split(*checks, ",") {
+			enabled[strings.TrimSpace(c)] = true
+		}
+		for c := range enabled {
+			known := false
+			for _, s := range suite {
+				known = known || s.analyzer.Name == c
+			}
+			if !known {
+				fail("unknown check %q", c)
+			}
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fail("%v", err)
+	}
+	root, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		fail("%v", err)
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fail("%v", err)
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	findings := 0
+	for _, pkg := range pkgs {
+		var analyzers []*lint.Analyzer
+		for _, s := range suite {
+			if (len(enabled) == 0 || enabled[s.analyzer.Name]) && s.applies(pkg.Path) {
+				analyzers = append(analyzers, s.analyzer)
+			}
+		}
+		diags, err := lint.CheckPackage(pkg, analyzers...)
+		if err != nil {
+			fail("%v", err)
+		}
+		for _, d := range diags {
+			pos := d.Pos
+			if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+				pos.Filename = rel
+			}
+			fmt.Printf("%s:%d:%d: %s: %s\n", pos.Filename, pos.Line, pos.Column, d.Check, d.Message)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "cedarvet: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cedarvet: "+format+"\n", args...)
+	os.Exit(2)
+}

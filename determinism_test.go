@@ -1,0 +1,84 @@
+// End-to-end determinism regression: the simulator's whole value as a
+// reproduction rests on identical runs producing identical cycle counts
+// and identical report bytes. cedarvet (cmd/cedarvet) enforces the
+// invariants statically; this test enforces them dynamically by running
+// the same workloads twice in one process. See DESIGN.md "Determinism
+// invariants and cedarvet".
+package cedar_test
+
+import (
+	"strings"
+	"testing"
+
+	"cedar"
+)
+
+// trackProfile returns the smallest Perfect proxy, cheap enough to
+// simulate twice per test run.
+func trackProfile(t *testing.T) cedar.PerfectProfile {
+	t.Helper()
+	for _, p := range cedar.PerfectCodes() {
+		if p.Name == "TRACK" {
+			return p
+		}
+	}
+	t.Fatal("TRACK missing from the Perfect suite")
+	panic("unreachable")
+}
+
+func TestPerfectRunDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Perfect proxy run in -short mode")
+	}
+	code := trackProfile(t)
+	run := func() cedar.PerfectOutcome {
+		out, err := cedar.RunPerfect(cedar.DefaultParams(), code, cedar.PerfectSpec{Variant: cedar.PerfectAuto})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	first, second := run(), run()
+	if first != second {
+		t.Errorf("two identical Perfect runs disagree:\n first: %+v\nsecond: %+v", first, second)
+	}
+	if first.SimCycles <= 0 {
+		t.Errorf("SimCycles = %d, want > 0", first.SimCycles)
+	}
+}
+
+func TestKernelCycleDeterminism(t *testing.T) {
+	run := func() cedar.KernelResult {
+		m := cedar.NewMachine(cedar.DefaultParams(), cedar.Options{})
+		res, err := cedar.RankUpdate(m, 64, cedar.RKPref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	first, second := run(), run()
+	if first.Cycles != second.Cycles {
+		t.Errorf("rank-64 update cycle counts disagree: %d vs %d", first.Cycles, second.Cycles)
+	}
+	if first.Flops != second.Flops || first.MFLOPS != second.MFLOPS {
+		t.Errorf("rank-64 update results disagree: %+v vs %+v", first.Result, second.Result)
+	}
+}
+
+func TestReportBytesDeterminism(t *testing.T) {
+	gen := func() string {
+		var b strings.Builder
+		err := cedar.WriteReport(&b, cedar.ReportConfig{
+			SkipKernels:     true,
+			SkipPerfect:     true,
+			SkipMethodology: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	if first, second := gen(), gen(); first != second {
+		t.Errorf("report header bytes disagree across runs:\n%q\nvs\n%q", first, second)
+	}
+}

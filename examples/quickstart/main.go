@@ -18,7 +18,8 @@ import (
 func main() {
 	// The machine as built: 4 clusters × 8 CEs, two-stage omega networks,
 	// 32 global memory modules with synchronization processors.
-	m := cedar.NewMachine(cedar.DefaultParams(), cedar.Options{})
+	p := cedar.DefaultParams()
+	m := cedar.NewMachine(p, cedar.Options{})
 
 	// Place a working array in global memory.
 	const vecLen = 512
@@ -50,8 +51,8 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("ran %d flops in %d cycles (%.2f ms of 170 ns machine time)\n",
-		res.Flops, res.Cycles, res.Seconds*1e3)
-	fmt.Printf("aggregate rate: %.1f MFLOPS (machine peak 376, effective peak 274)\n",
-		res.MFLOPS)
+	fmt.Printf("ran %d flops in %d cycles (%.2f ms at %.0f ns per cycle)\n",
+		res.Flops, res.Cycles, res.Seconds*1e3, cedar.CycleNS)
+	fmt.Printf("aggregate rate: %.1f MFLOPS (machine peak %.0f, effective peak %.0f)\n",
+		res.MFLOPS, p.PeakMFLOPS(), p.EffectivePeakMFLOPS())
 }

@@ -75,7 +75,7 @@ type Stats struct {
 
 // New builds the cache for nCE client CEs over the given cluster memory.
 func New(p params.Machine, nCE int, mem *cmem.Memory) *Cache {
-	lineWords := uint64(p.CacheLineBytes / 8)
+	lineWords := uint64(p.CacheLineBytes / params.WordBytes)
 	if lineWords == 0 {
 		panic("cache: line smaller than a word")
 	}

@@ -71,7 +71,7 @@ func (r *Runtime) claimN(ci, k, chunk int, got func(first int64)) {
 	res := &r.res[k]
 	if r.cfg.UseCedarSync {
 		r.enq(ci,
-			scalarInstr(int64(r.syncPathCycles)),
+			scalarInstr(r.syncPathCycles),
 			&ce.Instr{
 				Op: ce.OpSync, Addr: res.counter,
 				Test: network.TestAlways, Mut: network.OpAdd, Value: int64(chunk),
@@ -83,7 +83,7 @@ func (r *Runtime) claimN(ci, k, chunk int, got func(first int64)) {
 		return
 	}
 	// Library path: lock, read, write, unlock.
-	r.enq(ci, scalarInstr(int64(r.lockPathCycles)))
+	r.enq(ci, scalarInstr(r.lockPathCycles))
 	r.takeLockThen(ci, func() {
 		r.enq(ci, &ce.Instr{
 			Op: ce.OpGlobalLoad, Addr: res.counter,

@@ -29,8 +29,8 @@ type Runtime struct {
 	counterShadow []int64
 
 	// library path lengths (cycles)
-	lockPathCycles int
-	syncPathCycles int
+	lockPathCycles int64
+	syncPathCycles int64
 	pollBackoff    int64
 
 	// tracer receives software events when attached (SetTracer).
@@ -113,7 +113,7 @@ func New(m *core.Machine, cfg Config, phases ...Phase) *Runtime {
 	// round trips ≈ 52 cycles); the rest of the ≈30 µs iteration fetch
 	// is library code modeled as scalar work. The Cedar-sync path is a
 	// short stub plus a single Test-And-Add.
-	r.lockPathCycles = m.P.XDoallFetchLock - 52
+	r.lockPathCycles = int64(m.P.XDoallFetchLock) - 52
 	if r.lockPathCycles < 0 {
 		r.lockPathCycles = 0
 	}
@@ -259,7 +259,7 @@ func (r *Runtime) claim(ci, k int, got func(ticket int64)) {
 	res := &r.res[k]
 	if r.cfg.UseCedarSync {
 		r.enq(ci,
-			&ce.Instr{Op: ce.OpScalar, Cycles: int64(r.syncPathCycles)},
+			&ce.Instr{Op: ce.OpScalar, Cycles: r.syncPathCycles},
 			&ce.Instr{
 				Op: ce.OpSync, Addr: res.counter,
 				Test: network.TestAlways, Mut: network.OpAdd, Value: 1,
@@ -271,7 +271,7 @@ func (r *Runtime) claim(ci, k int, got func(ticket int64)) {
 		return
 	}
 	// Library path: scalar prologue, then lock / read / write / unlock.
-	r.enq(ci, &ce.Instr{Op: ce.OpScalar, Cycles: int64(r.lockPathCycles)})
+	r.enq(ci, &ce.Instr{Op: ce.OpScalar, Cycles: r.lockPathCycles})
 	r.takeLockThen(ci, func() {
 		r.enq(ci, &ce.Instr{
 			Op: ce.OpGlobalLoad, Addr: res.counter,

@@ -65,7 +65,7 @@ func MemBW(m *core.Machine, nCE int, stride int64, wordsPerCE int) (MemBWPoint, 
 		CEs: nCE, Stride: stride, WordsPerCE: wordsPerCE,
 		Cycles:        res.Cycles,
 		WordsPerCycle: wpc,
-		MBps:          wpc * 8 * params.CyclesPerSecond / 1e6,
+		MBps:          wpc * params.WordBytes * params.CyclesPerSecond / 1e6,
 	}, nil
 }
 

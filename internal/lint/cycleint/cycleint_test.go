@@ -1,0 +1,12 @@
+package cycleint_test
+
+import (
+	"testing"
+
+	"cedar/internal/lint/cycleint"
+	"cedar/internal/lint/linttest"
+)
+
+func TestCycleInt(t *testing.T) {
+	linttest.Run(t, cycleint.Analyzer, "testdata/src/cycleint")
+}

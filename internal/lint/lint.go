@@ -1,0 +1,190 @@
+// Package lint is a minimal static-analysis framework in the spirit of
+// golang.org/x/tools/go/analysis, built entirely on the standard library
+// (this module deliberately has no external dependencies). It exists to
+// host cedarvet, the suite of project-specific analyzers that enforce the
+// simulator's determinism and parameter-hygiene invariants; see DESIGN.md
+// "Determinism invariants and cedarvet".
+//
+// An Analyzer inspects one type-checked package at a time through a Pass
+// and reports Diagnostics. Findings can be suppressed at the source line
+// with a directive comment:
+//
+//	//lint:allow <check> <reason>
+//
+// The reason is mandatory; a directive without one is itself reported.
+// A directive suppresses matching diagnostics on its own line and on the
+// line directly below it, so both trailing-comment and own-line placement
+// work:
+//
+//	t := time.Now() //lint:allow nondeterminism wall-clock is for the CLI banner only
+//
+//	//lint:allow paramhygiene this 512 is a test matrix order, not the PFU depth
+//	n := 512
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name identifies the check in output and in //lint:allow directives.
+	Name string
+	// Doc is a one-paragraph description of what the check enforces.
+	Doc string
+	// Run inspects the package behind pass and reports findings.
+	Run func(pass *Pass) error
+}
+
+// A Pass connects an Analyzer to the package under inspection.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files is the package syntax, including in-package _test.go files.
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     p.Fset.Position(pos),
+		Check:   p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Filename returns the name of the file holding f.
+func (p *Pass) Filename(f *ast.File) string {
+	return p.Fset.Position(f.Pos()).Filename
+}
+
+// IsTestFile reports whether f is a _test.go file. Several analyzers
+// relax their rules inside tests (seeded randomness and wall-clock reads
+// are fine there).
+func (p *Pass) IsTestFile(f *ast.File) bool {
+	return strings.HasSuffix(p.Filename(f), "_test.go")
+}
+
+// A Diagnostic is one finding, located by resolved position.
+type Diagnostic struct {
+	Pos     token.Position
+	Check   string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+}
+
+// allowDirective is the comment prefix of a suppression.
+const allowDirective = "//lint:allow"
+
+// MalformedCheck is the pseudo-check name under which broken //lint:allow
+// directives are reported. It cannot itself be suppressed.
+const MalformedCheck = "lintdirective"
+
+// Directives holds the parsed //lint:allow suppressions of one package.
+type Directives struct {
+	// allow maps filename -> line -> set of check names allowed there.
+	allow map[string]map[int]map[string]bool
+	// Malformed collects directives missing a check name or a reason.
+	Malformed []Diagnostic
+}
+
+// ParseDirectives scans the comments of files for //lint:allow.
+func ParseDirectives(fset *token.FileSet, files []*ast.File) *Directives {
+	d := &Directives{allow: map[string]map[int]map[string]bool{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowDirective) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, allowDirective)
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					d.Malformed = append(d.Malformed, Diagnostic{
+						Pos:     pos,
+						Check:   MalformedCheck,
+						Message: "malformed directive: want //lint:allow <check> <reason>",
+					})
+					continue
+				}
+				check := fields[0]
+				byLine := d.allow[pos.Filename]
+				if byLine == nil {
+					byLine = map[int]map[string]bool{}
+					d.allow[pos.Filename] = byLine
+				}
+				// A directive covers its own line (trailing comment)
+				// and the next line (own-line comment above the code).
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					if byLine[line] == nil {
+						byLine[line] = map[string]bool{}
+					}
+					byLine[line][check] = true
+				}
+			}
+		}
+	}
+	return d
+}
+
+// Suppressed reports whether diag is covered by an allow directive.
+func (d *Directives) Suppressed(diag Diagnostic) bool {
+	if diag.Check == MalformedCheck {
+		return false
+	}
+	return d.allow[diag.Pos.Filename][diag.Pos.Line][diag.Check]
+}
+
+// CheckPackage runs the analyzers over one loaded package, applies the
+// package's //lint:allow directives, and returns the surviving
+// diagnostics sorted by position (malformed directives included).
+func CheckPackage(pkg *Package, analyzers ...*Analyzer) ([]Diagnostic, error) {
+	dirs := ParseDirectives(pkg.Fset, pkg.Files)
+	diags := append([]Diagnostic(nil), dirs.Malformed...)
+	for _, a := range analyzers {
+		var raw []Diagnostic
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			diags:    &raw,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		}
+		for _, d := range raw {
+			if !dirs.Suppressed(d) {
+				diags = append(diags, d)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Check < diags[j].Check
+	})
+	return diags, nil
+}

@@ -1,0 +1,298 @@
+// Package maporder flags range loops over maps whose iteration order can
+// leak into results: appends into slices that outlive the loop, floating-
+// point accumulation (rounding is order-dependent), and direct output
+// emission. Map iteration order is randomized by the runtime, so any of
+// these makes two identical simulation runs disagree.
+//
+// The canonical collect-keys-then-sort idiom is recognized and exempt: an
+// append inside the loop is clean when the same slice is passed to a
+// sort.* or slices.* call later in the enclosing block. Integer
+// accumulation is also exempt — exact addition commutes.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"cedar/internal/lint"
+)
+
+// Analyzer is the maporder check.
+var Analyzer = &lint.Analyzer{
+	Name: "maporder",
+	Doc: "forbid map iteration whose nondeterministic order reaches " +
+		"appended slices, float accumulators or emitted output",
+	Run: run,
+}
+
+var fmtEmitters = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+var writerMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.Info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRange(pass, f, rs)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkMapRange(pass *lint.Pass, file *ast.File, rs *ast.RangeStmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			checkAppend(pass, file, rs, n)
+			checkFloatAccum(pass, rs, n)
+		case *ast.CallExpr:
+			checkEmission(pass, n)
+		}
+		return true
+	})
+}
+
+// checkAppend flags `s = append(s, ...)` where s outlives the loop and is
+// never sorted afterwards.
+func checkAppend(pass *lint.Pass, file *ast.File, rs *ast.RangeStmt, as *ast.AssignStmt) {
+	for i, rhs := range as.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || !isBuiltin(pass, call.Fun, "append") {
+			continue
+		}
+		if i >= len(as.Lhs) {
+			continue
+		}
+		id, ok := as.Lhs[i].(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := pass.Info.ObjectOf(id)
+		if obj == nil || obj.Pos() >= rs.Pos() {
+			continue // loop-local slice; order cannot escape
+		}
+		if sortedAfter(pass, file, rs, obj) {
+			continue
+		}
+		pass.Reportf(call.Pos(), "append into %s inside map iteration; map order is nondeterministic — collect keys and sort them first", obj.Name())
+	}
+}
+
+// checkFloatAccum flags compound float accumulation (`sum += v` and
+// friends); float rounding makes the result order-dependent.
+func checkFloatAccum(pass *lint.Pass, rs *ast.RangeStmt, as *ast.AssignStmt) {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+	default:
+		return
+	}
+	if len(as.Lhs) != 1 {
+		return
+	}
+	lhs := as.Lhs[0]
+	t := pass.Info.TypeOf(lhs)
+	if t == nil {
+		return
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsFloat == 0 {
+		return
+	}
+	if obj := rootObject(pass, lhs); obj != nil && obj.Pos() >= rs.Pos() {
+		return // accumulator local to the loop body
+	}
+	pass.Reportf(as.Pos(), "floating-point accumulation in map iteration order; rounding makes the sum order-dependent — iterate sorted keys")
+}
+
+// checkEmission flags writes to output streams from inside the loop.
+func checkEmission(pass *lint.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	// fmt.Print*/Fprint* via the package name.
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pn, ok := pass.Info.Uses[id].(*types.PkgName); ok {
+			if pn.Imported().Path() == "fmt" && fmtEmitters[sel.Sel.Name] {
+				pass.Reportf(call.Pos(), "fmt.%s emits output in map iteration order; collect into sorted form before printing", sel.Sel.Name)
+			}
+			return
+		}
+	}
+	// Writer methods on buffers, builders, and io.Writer values.
+	if !writerMethods[sel.Sel.Name] {
+		return
+	}
+	t := pass.Info.TypeOf(sel.X)
+	if t == nil {
+		return
+	}
+	if isOutputSink(t) {
+		pass.Reportf(call.Pos(), "%s on %s emits output in map iteration order; collect into sorted form before writing", sel.Sel.Name, t.String())
+	}
+}
+
+func isOutputSink(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	switch tt := t.(type) {
+	case *types.Named:
+		obj := tt.Obj()
+		if obj.Pkg() == nil {
+			return false
+		}
+		full := obj.Pkg().Path() + "." + obj.Name()
+		return full == "bytes.Buffer" || full == "strings.Builder" || full == "io.Writer"
+	case *types.Interface:
+		// An interface value with a Write method is treated as a sink.
+		for i := 0; i < tt.NumMethods(); i++ {
+			if tt.Method(i).Name() == "Write" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// sortedAfter reports whether obj is passed to a sort.* or slices.* call
+// in a statement after rs within the block that directly contains rs.
+func sortedAfter(pass *lint.Pass, file *ast.File, rs *ast.RangeStmt, obj types.Object) bool {
+	list := enclosingStmtList(file, rs)
+	if list == nil {
+		return false
+	}
+	seen := false
+	for _, st := range list {
+		if st == ast.Stmt(rs) {
+			seen = true
+			continue
+		}
+		if !seen {
+			continue
+		}
+		if stmtSorts(pass, st, obj) {
+			return true
+		}
+	}
+	return false
+}
+
+// enclosingStmtList finds the statement list that directly contains rs.
+func enclosingStmtList(file *ast.File, rs *ast.RangeStmt) []ast.Stmt {
+	var found []ast.Stmt
+	ast.Inspect(file, func(n ast.Node) bool {
+		var list []ast.Stmt
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			list = n.List
+		case *ast.CaseClause:
+			list = n.Body
+		case *ast.CommClause:
+			list = n.Body
+		default:
+			return true
+		}
+		for _, st := range list {
+			if st == ast.Stmt(rs) {
+				found = list
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// stmtSorts reports whether st calls into sort or slices with obj among
+// the call's arguments (possibly wrapped, e.g. sort.StringSlice(keys)).
+func stmtSorts(pass *lint.Pass, st ast.Stmt, obj types.Object) bool {
+	sorts := false
+	ast.Inspect(st, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || sorts {
+			return !sorts
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := pass.Info.Uses[id].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		if p := pn.Imported().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if usesObject(pass, arg, obj) {
+				sorts = true
+				return false
+			}
+		}
+		return true
+	})
+	return sorts
+}
+
+func usesObject(pass *lint.Pass, e ast.Expr, obj types.Object) bool {
+	used := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.Info.ObjectOf(id) == obj {
+			used = true
+		}
+		return !used
+	})
+	return used
+}
+
+func isBuiltin(pass *lint.Pass, fun ast.Expr, name string) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.Info.ObjectOf(id).(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// rootObject resolves the leftmost identifier of an lvalue (x, x.f,
+// x[i].f, ...) to its object.
+func rootObject(pass *lint.Pass, e ast.Expr) types.Object {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return pass.Info.ObjectOf(v)
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,98 @@
+// Package maporder is the golden package for the maporder check.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// leakyAppend lets map order escape into a slice.
+func leakyAppend(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append into out inside map iteration`
+	}
+	return out
+}
+
+// collectThenSort is the approved idiom and stays clean.
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// floatAccum rounds in iteration order.
+func floatAccum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `floating-point accumulation in map iteration order`
+	}
+	return sum
+}
+
+// intAccum commutes exactly, so it is clean.
+func intAccum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// emit prints in iteration order.
+func emit(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want `fmt\.Printf emits output in map iteration order`
+	}
+}
+
+// build writes into a builder in iteration order.
+func build(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `WriteString on strings\.Builder emits output`
+	}
+	return b.String()
+}
+
+// rewrite only updates the map itself; order cannot be observed.
+func rewrite(m map[string]int) {
+	for k, v := range m {
+		m[k] = v * 2
+	}
+}
+
+// loopLocal appends into a slice scoped to the body, which dies each
+// iteration, so order cannot escape.
+func loopLocal(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var batch []int
+		batch = append(batch, vs...)
+		n += len(batch)
+	}
+	return n
+}
+
+// sliceRange is not a map; clean.
+func sliceRange(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// allowed shows the suppression escape hatch.
+func allowed(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) //lint:allow maporder consumer treats out as an unordered set
+	}
+	return out
+}

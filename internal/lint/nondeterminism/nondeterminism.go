@@ -1,0 +1,98 @@
+// Package nondeterminism flags constructs that can make a simulation run
+// irreproducible: wall-clock reads, the process-global math/rand source,
+// sleeps, goroutine spawns, and channel selects. The Cedar simulator is a
+// single-threaded cycle-level model whose ticking order is part of the
+// model, so any of these either leaks host time into results or races the
+// tick order.
+//
+// _test.go files are exempt from the wall-clock and concurrency rules
+// (tests may time themselves and exercise goroutines), but the global
+// math/rand source stays flagged everywhere: tests must seed explicitly
+// via rand.New(rand.NewSource(seed)) so failures replay.
+package nondeterminism
+
+import (
+	"go/ast"
+	"go/types"
+
+	"cedar/internal/lint"
+)
+
+// Analyzer is the nondeterminism check.
+var Analyzer = &lint.Analyzer{
+	Name: "nondeterminism",
+	Doc: "forbid wall-clock time, the global math/rand source, sleeps, " +
+		"goroutines and selects inside the simulator",
+	Run: run,
+}
+
+// wallClockFuncs are the time-package functions that read or depend on
+// the host clock. Types like time.Time and time.Duration stay usable.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"Tick": true, "After": true, "AfterFunc": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// seededConstructors are the math/rand functions that build an explicitly
+// seeded generator and are therefore allowed.
+var seededConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	// math/rand/v2 additions.
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		isTest := pass.IsTestFile(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				if !isTest {
+					pass.Reportf(n.Pos(), "goroutine spawn in simulator code; the tick order is part of the model and must stay single-threaded")
+				}
+			case *ast.SelectStmt:
+				if !isTest {
+					pass.Reportf(n.Pos(), "channel select in simulator code; case choice is scheduler-dependent and breaks cycle reproducibility")
+				}
+			case *ast.SelectorExpr:
+				pkgPath, ok := packageOf(pass, n)
+				if !ok {
+					break
+				}
+				name := n.Sel.Name
+				switch pkgPath {
+				case "time":
+					if wallClockFuncs[name] && !isTest && isFunc(pass, n.Sel) {
+						pass.Reportf(n.Pos(), "time.%s is wall-clock and leaks host time into the model; inject the value or drop it from deterministic output", name)
+					}
+				case "math/rand", "math/rand/v2":
+					if !seededConstructors[name] && isFunc(pass, n.Sel) {
+						pass.Reportf(n.Pos(), "global math/rand source (rand.%s) is not reproducibly seeded; use rand.New(rand.NewSource(seed))", name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// packageOf resolves sel's receiver to an imported package path.
+func packageOf(pass *lint.Pass, sel *ast.SelectorExpr) (string, bool) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := pass.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", false
+	}
+	return pn.Imported().Path(), true
+}
+
+// isFunc reports whether sel names a function (not a type or variable).
+func isFunc(pass *lint.Pass, sel *ast.Ident) bool {
+	_, ok := pass.Info.Uses[sel].(*types.Func)
+	return ok
+}

@@ -1,0 +1,12 @@
+package nondeterminism_test
+
+import (
+	"testing"
+
+	"cedar/internal/lint/linttest"
+	"cedar/internal/lint/nondeterminism"
+)
+
+func TestNondeterminism(t *testing.T) {
+	linttest.Run(t, nondeterminism.Analyzer, "testdata/src/nondet")
+}

@@ -1,0 +1,38 @@
+// Package nondet is the golden package for the nondeterminism check.
+package nondet
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Duration {
+	started := time.Now()        // want `time\.Now is wall-clock`
+	time.Sleep(time.Millisecond) // want `time\.Sleep is wall-clock`
+	return time.Since(started)   // want `time\.Since is wall-clock`
+}
+
+func globalRand() int {
+	rand.Seed(1)        // want `global math/rand source \(rand\.Seed\)`
+	x := rand.Intn(10)  // want `global math/rand source \(rand\.Intn\)`
+	y := rand.Float64() // want `global math/rand source \(rand\.Float64\)`
+	_ = y
+	return x
+}
+
+// seededRand is the approved pattern: an explicit source replays.
+func seededRand() int {
+	rng := rand.New(rand.NewSource(1993))
+	return rng.Intn(10)
+}
+
+func concurrency(ch chan int) {
+	go func() { ch <- 1 }() // want `goroutine spawn in simulator code`
+	select {                // want `channel select in simulator code`
+	case <-ch:
+	default:
+	}
+}
+
+// durations only touch time's types, which is fine.
+func durations(d time.Duration) float64 { return d.Seconds() }

@@ -1,0 +1,15 @@
+package nondet
+
+import "time"
+
+// startupBanner shows the documented escape hatch: a justified
+// //lint:allow directive suppresses the finding on its line.
+func startupBanner() time.Time {
+	return time.Now() //lint:allow nondeterminism wall-clock is CLI banner output, never reaches the model
+}
+
+// aboveLine demonstrates own-line placement.
+func aboveLine() time.Time {
+	//lint:allow nondeterminism wall-clock is CLI banner output, never reaches the model
+	return time.Now()
+}

@@ -1,0 +1,23 @@
+package nondet
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Test files may read the clock and spawn goroutines...
+func timingHarness(done chan bool) time.Time {
+	go func() { done <- true }()
+	return time.Now()
+}
+
+// ...but must still seed their randomness so failures replay.
+func fuzzInputs() []int {
+	rng := rand.New(rand.NewSource(42))
+	out := make([]int, 8)
+	for i := range out {
+		out[i] = rng.Intn(100)
+	}
+	_ = rand.Int() // want `global math/rand source \(rand\.Int\)`
+	return out
+}

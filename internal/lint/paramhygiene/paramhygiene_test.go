@@ -1,0 +1,18 @@
+package paramhygiene_test
+
+import (
+	"testing"
+
+	"cedar/internal/lint/linttest"
+	"cedar/internal/lint/paramhygiene"
+)
+
+func TestParamHygiene(t *testing.T) {
+	linttest.Run(t, paramhygiene.Analyzer, "testdata/src/hygiene")
+}
+
+// The params package itself is where the constants live; nothing may be
+// flagged there.
+func TestParamsPackageExempt(t *testing.T) {
+	linttest.Run(t, paramhygiene.Analyzer, "testdata/src/params")
+}

@@ -1,0 +1,10 @@
+// Package params mirrors internal/params for the exemption test: the
+// parameter table is the one place the paper's figures belong.
+package params
+
+const (
+	CycleNS           = 170.0
+	GlobalLoadLatency = 13
+	PFUBufferWords    = 512
+	WiringPeakMBps    = 768.0
+)

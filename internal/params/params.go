@@ -15,6 +15,22 @@ const CycleNS = 170.0
 // CyclesPerSecond is the CE clock rate (≈5.88 MHz).
 const CyclesPerSecond = 1e9 / CycleNS
 
+// WordBytes is the machine word size in bytes: Cedar moves 64-bit words
+// everywhere (memory interleave, network flits, prefetch buffer slots).
+const WordBytes = 8
+
+// WiringPeakMBps is the global-memory wiring peak the paper quotes
+// (768 MB/s); the [GJTV91] characterization sustained ≈500 MB/s, which
+// Machine.MemService is calibrated to reproduce.
+const WiringPeakMBps = 768.0
+
+// GlobalLoadLatency is the unloaded CE-to-global-memory load latency in
+// cycles as quoted by the paper (13 cycles end to end: network transit
+// both ways, module access, and the CE-side transfer). The simulator
+// derives its timing from the component costs in Machine; this named
+// figure exists so documentation, reports and tests never hardcode "13".
+const GlobalLoadLatency = 13
+
 // Machine describes a Cedar configuration. The zero value is not useful;
 // start from Default() and override fields as needed.
 type Machine struct {
@@ -106,8 +122,8 @@ func Default() Machine {
 		CacheMissPerCE:   2,
 		CMemLatency:      10,
 		CMemWordsPerCyc:  4,
-		ClusterMemWords:  (32 << 20) / 8,
-		GlobalMemWords:   (64 << 20) / 8,
+		ClusterMemWords:  (32 << 20) / WordBytes,
+		GlobalMemWords:   (64 << 20) / WordBytes,
 
 		PageWords:    512,
 		TLBMissCost:  300,

@@ -155,3 +155,24 @@ func TestMFLOPSRoundTripProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestPaperConstants(t *testing.T) {
+	// The named paper figures are what cedarvet's paramhygiene check
+	// points violators at; pin them so they cannot drift silently.
+	if WordBytes != 8 {
+		t.Errorf("WordBytes = %d, want 8", WordBytes)
+	}
+	if WiringPeakMBps != 768.0 {
+		t.Errorf("WiringPeakMBps = %v, want 768", WiringPeakMBps)
+	}
+	if GlobalLoadLatency != 13 {
+		t.Errorf("GlobalLoadLatency = %v, want the paper's 13 cycles", GlobalLoadLatency)
+	}
+	d := Default()
+	if d.PFUBufferWords != 512 || d.PFUMaxOutstanding != 512 {
+		t.Errorf("PFU depth = %d/%d, want the paper's 512", d.PFUBufferWords, d.PFUMaxOutstanding)
+	}
+	if d.ClusterMemWords != (32<<20)/WordBytes || d.GlobalMemWords != (64<<20)/WordBytes {
+		t.Error("memory capacities must be expressed in 8-byte machine words")
+	}
+}

@@ -1,0 +1,10 @@
+//go:build race
+
+package perfect
+
+// raceEnabled reports whether the race detector is compiled in. The
+// per-code story tests multiply a half-minute of simulation by the
+// detector's overhead and blow the per-package test timeout, so they
+// skip under -race; every simulator path they cover is also exercised
+// by the per-variant unit tests, which do run raced.
+const raceEnabled = true

@@ -15,6 +15,9 @@ func TestPerCodeStories(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-suite stories in -short mode")
 	}
+	if raceEnabled {
+		t.Skip("per-code story simulations are too slow under the race detector")
+	}
 	pm := params.Default()
 
 	speedup := func(t *testing.T, p Profile, spec Spec) float64 {

@@ -64,6 +64,6 @@ func (r *MemBWResult) Format() string {
 	}
 	s := "memory system characterization [GJTV91]\n"
 	s += formatTable(header, rows)
-	s += fmt.Sprintf("observed peak %.0f MB/s (wiring peak 768 MB/s; the companion study sustained ≈500)\n", r.PeakMBps())
+	s += fmt.Sprintf("observed peak %.0f MB/s (wiring peak %.0f MB/s; the companion study sustained ≈500)\n", r.PeakMBps(), params.WiringPeakMBps)
 	return s
 }

@@ -1,0 +1,10 @@
+//go:build race
+
+package tables
+
+// raceEnabled reports whether the race detector is compiled in. The
+// full-report integration tests multiply a ~2-minute simulation by the
+// detector's overhead and blow the per-package test timeout, so they
+// skip under -race; every simulator path they cover is also exercised
+// by the per-table unit tests, which do run raced.
+const raceEnabled = true

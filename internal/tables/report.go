@@ -23,6 +23,11 @@ type ReportConfig struct {
 	SkipKernels     bool
 	SkipPerfect     bool
 	SkipMethodology bool
+	// Now supplies wall-clock time for the "report generated in ..."
+	// trailer. When nil (the default) the trailer is omitted, so two
+	// identical runs produce byte-identical reports; CLIs that want the
+	// timing pass time.Now.
+	Now func() time.Time
 }
 
 // WriteReport regenerates the paper's complete evaluation and writes a
@@ -32,7 +37,10 @@ func WriteReport(w io.Writer, cfg ReportConfig) error {
 	if cfg.RankN == 0 {
 		cfg.RankN = 256
 	}
-	started := time.Now()
+	var started time.Time
+	if cfg.Now != nil {
+		started = cfg.Now()
+	}
 	fmt.Fprintf(w, "# Cedar evaluation report\n\n")
 	fmt.Fprintf(w, "machine: %d clusters × %d CEs, %.0f MFLOPS peak, %.0f effective\n\n",
 		params.Default().Clusters, params.Default().CEsPerCluster,
@@ -133,6 +141,8 @@ func WriteReport(w io.Writer, cfg ReportConfig) error {
 		fmt.Fprint(w, p4.Format())
 	}
 
-	fmt.Fprintf(w, "\n---\nreport generated in %s of host time\n", time.Since(started).Round(time.Second))
+	if cfg.Now != nil {
+		fmt.Fprintf(w, "\n---\nreport generated in %s of host time\n", cfg.Now().Sub(started).Round(time.Second))
+	}
 	return nil
 }

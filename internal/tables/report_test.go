@@ -3,6 +3,7 @@ package tables
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"cedar/internal/perfect"
 )
@@ -11,11 +12,15 @@ func TestWriteReportKernelsOnly(t *testing.T) {
 	if testing.Short() {
 		t.Skip("report generation in -short mode")
 	}
+	if raceEnabled {
+		t.Skip("full-report simulation is too slow under the race detector")
+	}
 	var b strings.Builder
 	err := WriteReport(&b, ReportConfig{
 		RankN:           96,
 		SkipPerfect:     true,
 		SkipMethodology: true,
+		Now:             time.Now,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -41,6 +46,9 @@ func TestWriteReportMethodologySections(t *testing.T) {
 	if testing.Short() {
 		t.Skip("report generation in -short mode")
 	}
+	if raceEnabled {
+		t.Skip("full-report simulation is too slow under the race detector")
+	}
 	var b strings.Builder
 	err := WriteReport(&b, ReportConfig{
 		SkipKernels: true,
@@ -60,5 +68,45 @@ func TestWriteReportMethodologySections(t *testing.T) {
 	}
 	if strings.Contains(out, "Table 1 —") {
 		t.Error("kernel sections should be skipped")
+	}
+}
+
+// TestWriteReportDeterministic is the report half of the determinism
+// invariant: with no injected clock, two identical runs must produce
+// byte-identical output (see DESIGN.md "Determinism invariants").
+func TestWriteReportDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("report generation in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("full-report simulation is too slow under the race detector")
+	}
+	gen := func() string {
+		var b strings.Builder
+		err := WriteReport(&b, ReportConfig{
+			RankN:           64,
+			SkipPerfect:     true,
+			SkipMethodology: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	first, second := gen(), gen()
+	if first != second {
+		line := 1
+		for i := 0; i < len(first) && i < len(second); i++ {
+			if first[i] != second[i] {
+				t.Fatalf("reports diverge at byte %d (line %d)", i, line)
+			}
+			if first[i] == '\n' {
+				line++
+			}
+		}
+		t.Fatalf("reports differ in length: %d vs %d bytes", len(first), len(second))
+	}
+	if strings.Contains(first, "report generated") {
+		t.Error("deterministic report (nil Now) must omit the wall-clock trailer")
 	}
 }

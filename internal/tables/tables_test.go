@@ -15,6 +15,9 @@ var smallSuiteCache *SuiteResult
 
 func smallSuite(t *testing.T) *SuiteResult {
 	t.Helper()
+	if raceEnabled {
+		t.Skip("Perfect suite simulation is too slow under the race detector")
+	}
 	if smallSuiteCache != nil {
 		return smallSuiteCache
 	}

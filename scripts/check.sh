@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# check.sh — the full local verification gate. Run from anywhere inside
+# the repo; CI and pre-commit hooks should invoke exactly this script so
+# there is one definition of "green".
+#
+#   FUZZTIME=30s scripts/check.sh    # longer fuzz smoke (default 5s each)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FUZZTIME="${FUZZTIME:-5s}"
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> cedarvet (determinism + parameter hygiene)"
+go run ./cmd/cedarvet ./...
+
+echo "==> go test ./..."
+go test ./...
+
+echo "==> go test -race ./..."
+# The full-report integration tests skip themselves under -race (they
+# multiply minutes of simulation by the detector's overhead); the line
+# above runs them unraced.
+go test -race ./...
+
+echo "==> fuzz smoke ($FUZZTIME per target)"
+go test -run='^$' -fuzz='^FuzzOmegaRouting$' -fuzztime="$FUZZTIME" ./internal/network
+go test -run='^$' -fuzz='^FuzzInstability$' -fuzztime="$FUZZTIME" ./internal/ppt
+go test -run='^$' -fuzz='^FuzzBands$' -fuzztime="$FUZZTIME" ./internal/ppt
+
+echo "OK: build, vet, cedarvet, race tests and fuzz smoke all green"
