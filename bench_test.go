@@ -38,6 +38,33 @@ func BenchmarkTable1(b *testing.B) {
 	}
 }
 
+// BenchmarkScopeOverhead measures the cost of the observability hub on
+// Table 1: the disabled case (nil hub — every scope call short-circuits)
+// must track BenchmarkTable1 within noise, and the enabled case bounds
+// the price of full instrumentation.
+func BenchmarkScopeOverhead(b *testing.B) {
+	b.Run("disabled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := tables.RunTable1(benchTableN); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			hub := cedar.NewHub()
+			t1, err := tables.RunTable1(benchTableN, hub)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(hub.Snapshot()) == 0 {
+				b.Fatal("instrumented run registered no metrics")
+			}
+			b.ReportMetric(t1.MFLOPS[1][3], "pref-4cl-MFLOPS")
+		}
+	})
+}
+
 // BenchmarkTable2 regenerates the global-memory latency and interarrival
 // study for the VL, TM, RK and CG kernels on 8/16/32 CEs.
 func BenchmarkTable2(b *testing.B) {

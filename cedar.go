@@ -37,6 +37,7 @@ import (
 	"cedar/internal/params"
 	"cedar/internal/perfect"
 	"cedar/internal/ppt"
+	"cedar/internal/scope"
 	"cedar/internal/tables"
 	"cedar/internal/xylem"
 )
@@ -194,9 +195,10 @@ const (
 // PerfectCodes returns the thirteen-code suite.
 func PerfectCodes() []PerfectProfile { return perfect.All() }
 
-// RunPerfect executes one Perfect code variant on a fresh machine.
-func RunPerfect(p Params, code PerfectProfile, spec PerfectSpec) (PerfectOutcome, error) {
-	return perfect.Run(p, code, spec)
+// RunPerfect executes one Perfect code variant on a fresh machine. An
+// optional Hub observes the run.
+func RunPerfect(p Params, code PerfectProfile, spec PerfectSpec, obs ...*Hub) (PerfectOutcome, error) {
+	return perfect.Run(p, code, spec, obs...)
 }
 
 // Methodology: the Practical Parallelism Tests of §4.3.
@@ -235,11 +237,12 @@ type (
 	PPT4Result = tables.PPT4Result
 )
 
-// RunTable1 regenerates Table 1 for matrices of order n.
-func RunTable1(n int) (*Table1Result, error) { return tables.RunTable1(n) }
+// RunTable1 regenerates Table 1 for matrices of order n. An optional Hub
+// observes every machine in the sweep.
+func RunTable1(n int, obs ...*Hub) (*Table1Result, error) { return tables.RunTable1(n, obs...) }
 
 // RunTable2 regenerates Table 2.
-func RunTable2() (*Table2Result, error) { return tables.RunTable2() }
+func RunTable2(obs ...*Hub) (*Table2Result, error) { return tables.RunTable2(obs...) }
 
 // RunPerfectSuite runs every variant of the suite (pass nil for all 13
 // codes); feed the result to BuildTable3..BuildFigure3.
@@ -255,7 +258,7 @@ var (
 )
 
 // RunPPT4 regenerates the CG-vs-CM-5 scalability study.
-func RunPPT4(full bool) (*PPT4Result, error) { return tables.RunPPT4(full) }
+func RunPPT4(full bool, obs ...*Hub) (*PPT4Result, error) { return tables.RunPPT4(full, obs...) }
 
 // ReportConfig selects what WriteReport includes and at what scale.
 type ReportConfig = tables.ReportConfig
@@ -283,6 +286,34 @@ type Controller = ce.Controller
 func FixedWork(instrs int, cycles int64) Controller {
 	return xylem.NewFixedWork(instrs, cycles)
 }
+
+// Observability: the cedarscope hub (see internal/scope). Build a machine
+// with Options{Scope: NewHub()} — or pass a Hub to any experiment runner —
+// then export the run via WriteChromeTrace / WriteMetricsCSV or inspect
+// Snapshot / Attribution programmatically.
+type (
+	// Hub is the whole-machine observability nexus: a metrics registry, a
+	// cycle-stamped span tracer, and a cycle-attribution report. A nil
+	// *Hub disables instrumentation at near-zero cost.
+	Hub = scope.Hub
+	// MetricSample is one named metric reading.
+	MetricSample = scope.Sample
+	// TraceSpan is one captured trace record.
+	TraceSpan = scope.Span
+	// AttributionRow is one component class's busy/stall/idle totals.
+	AttributionRow = scope.AttrRow
+)
+
+// NewHub builds an empty observability hub.
+func NewHub() *Hub { return scope.NewHub() }
+
+// WriteScopeArtifacts writes a hub's Chrome trace JSON and metrics CSV to
+// the given paths (empty path = skip) — what the CLIs' -trace/-metrics
+// flags do.
+var WriteScopeArtifacts = scope.WriteArtifacts
+
+// FormatAttribution renders the per-class cycle attribution table.
+var FormatAttribution = scope.FormatAttribution
 
 // RunOverheads measures the §3.2 runtime library costs.
 var RunOverheads = tables.RunOverheads

@@ -9,6 +9,7 @@
 //	cedarreport -n 512 -full           # closer to paper-scale problems
 //	cedarreport -codes ARC2D,QCD,SPICE # fast Perfect subset
 //	cedarreport -kernels-only
+//	cedarreport -trace t.json -metrics m.csv   # observability artifacts
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"time"
 
 	"cedar/internal/perfect"
+	"cedar/internal/scope"
 	"cedar/internal/tables"
 )
 
@@ -26,13 +28,20 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("cedarreport: ")
 	var (
-		n        = flag.Int("n", 256, "rank-64 update order (paper: 1K)")
-		full     = flag.Bool("full", false, "use the paper's largest CG sizes")
-		codes    = flag.String("codes", "", "comma-separated Perfect subset (default all 13)")
-		kernOnly = flag.Bool("kernels-only", false, "skip the Perfect suite and methodology")
-		quiet    = flag.Bool("q", false, "suppress progress lines")
+		n         = flag.Int("n", 256, "rank-64 update order (paper: 1K)")
+		full      = flag.Bool("full", false, "use the paper's largest CG sizes")
+		codes     = flag.String("codes", "", "comma-separated Perfect subset (default all 13)")
+		kernOnly  = flag.Bool("kernels-only", false, "skip the Perfect suite and methodology")
+		quiet     = flag.Bool("q", false, "suppress progress lines")
+		tracePath = flag.String("trace", "", "write a Chrome trace-event JSON file (Perfetto / chrome://tracing)")
+		metrics   = flag.String("metrics", "", "write the metrics snapshot as CSV")
 	)
 	flag.Parse()
+
+	var hub *scope.Hub
+	if *tracePath != "" || *metrics != "" {
+		hub = scope.NewHub()
+	}
 
 	cfg := tables.ReportConfig{
 		RankN:    *n,
@@ -41,6 +50,8 @@ func main() {
 		// The CLI wants the elapsed-time trailer; library callers get
 		// byte-identical reports by leaving Now nil.
 		Now: time.Now,
+		// A hub adds the cycle-attribution section to the report.
+		Scope: hub,
 	}
 	if *quiet {
 		cfg.Progress = nil
@@ -64,6 +75,9 @@ func main() {
 		}
 	}
 	if err := tables.WriteReport(os.Stdout, cfg); err != nil {
+		log.Fatal(err)
+	}
+	if err := scope.WriteArtifacts(hub, *tracePath, *metrics); err != nil {
 		log.Fatal(err)
 	}
 }

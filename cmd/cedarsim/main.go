@@ -12,6 +12,10 @@
 //	cedarsim -scaled [-n 256]
 //	cedarsim -membw
 //	cedarsim -all
+//
+// Any run accepts -trace FILE (Chrome trace-event JSON for Perfetto or
+// chrome://tracing) and -metrics FILE (metrics snapshot CSV); -json embeds
+// the per-run metric snapshot next to each result.
 package main
 
 import (
@@ -21,18 +25,28 @@ import (
 	"log"
 	"os"
 
+	"cedar/internal/scope"
 	"cedar/internal/tables"
 )
 
 // emit prints either the formatted table or its JSON representation.
-func emit(asJSON bool, v interface{}, format func() string) {
+// With a hub attached, the JSON carries the experiment's slice of the
+// metrics registry alongside the result.
+func emit(asJSON bool, hub *scope.Hub, prefix string, v interface{}, format func() string) {
 	if !asJSON {
 		fmt.Println(format())
 		return
 	}
+	var out interface{} = v
+	if hub != nil {
+		out = struct {
+			Result  interface{}    `json:"result"`
+			Metrics []scope.Sample `json:"metrics"`
+		}{v, hub.SnapshotUnder(prefix)}
+	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(v); err != nil {
+	if err := enc.Encode(out); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -50,82 +64,98 @@ func main() {
 		membw     = flag.Bool("membw", false, "run the [GJTV91] memory characterization sweep")
 		asJSON    = flag.Bool("json", false, "emit results as JSON instead of tables")
 		all       = flag.Bool("all", false, "run everything")
+		tracePath = flag.String("trace", "", "write a Chrome trace-event JSON file (Perfetto / chrome://tracing)")
+		metrics   = flag.String("metrics", "", "write the metrics snapshot as CSV")
 	)
 	flag.Parse()
+
+	// The hub exists whenever an artifact or JSON metrics are wanted;
+	// otherwise machines are built uninstrumented at zero cost.
+	var hub *scope.Hub
+	if *tracePath != "" || *metrics != "" || *asJSON {
+		hub = scope.NewHub()
+	}
 
 	ran := false
 	if *all || *overheads {
 		ran = true
-		ov, err := tables.RunOverheads()
+		ov, err := tables.RunOverheads(hub)
 		if err != nil {
 			log.Fatal(err)
 		}
-		emit(*asJSON, ov, ov.Format)
+		emit(*asJSON, hub, "overheads", ov, ov.Format)
 	}
 	if *all || *table == 1 {
 		ran = true
-		t1, err := tables.RunTable1(*n)
+		t1, err := tables.RunTable1(*n, hub)
 		if err != nil {
 			log.Fatal(err)
 		}
-		emit(*asJSON, t1, t1.Format)
+		emit(*asJSON, hub, "t1", t1, t1.Format)
 	}
 	if *all || *table == 2 {
 		ran = true
 		var t2 *tables.Table2Result
 		var err error
 		if *small {
-			t2, err = tables.RunTable2Small()
+			t2, err = tables.RunTable2Small(hub)
 		} else {
-			t2, err = tables.RunTable2()
+			t2, err = tables.RunTable2(hub)
 		}
 		if err != nil {
 			log.Fatal(err)
 		}
-		emit(*asJSON, t2, t2.Format)
+		emit(*asJSON, hub, "t2", t2, t2.Format)
 	}
 	if *all || *ablation == "net" {
 		ran = true
-		rows, err := tables.RunNetworkAblation(*n)
+		rows, err := tables.RunNetworkAblation(*n, hub)
 		if err != nil {
 			log.Fatal(err)
 		}
-		emit(*asJSON, rows, func() string { return tables.FormatNetworkAblation(rows) })
+		emit(*asJSON, hub, "net", rows, func() string { return tables.FormatNetworkAblation(rows) })
 	}
 	if *all || *ablation == "sched" {
 		ran = true
-		rows, err := tables.RunSchedulingAblation()
+		rows, err := tables.RunSchedulingAblation(hub)
 		if err != nil {
 			log.Fatal(err)
 		}
-		emit(*asJSON, rows, func() string { return tables.FormatScheduling(rows) })
+		emit(*asJSON, hub, "sched", rows, func() string { return tables.FormatScheduling(rows) })
 	}
 	if *all || *ablation == "pref" {
 		ran = true
-		rows, err := tables.RunPrefetchBlockAblation(*n)
+		rows, err := tables.RunPrefetchBlockAblation(*n, hub)
 		if err != nil {
 			log.Fatal(err)
 		}
-		emit(*asJSON, rows, func() string { return tables.FormatPrefetchBlock(rows) })
+		emit(*asJSON, hub, "prefblock", rows, func() string { return tables.FormatPrefetchBlock(rows) })
 	}
 	if *all || *scaled {
 		ran = true
-		rows, err := tables.RunScaledCedar(*n)
+		rows, err := tables.RunScaledCedar(*n, hub)
 		if err != nil {
 			log.Fatal(err)
 		}
-		emit(*asJSON, rows, func() string { return tables.FormatScaled(rows) })
+		emit(*asJSON, hub, "scaled", rows, func() string { return tables.FormatScaled(rows) })
 	}
 	if *all || *membw {
 		ran = true
-		bw, err := tables.RunMemBW(4096)
+		bw, err := tables.RunMemBW(4096, hub)
 		if err != nil {
 			log.Fatal(err)
 		}
-		emit(*asJSON, bw, bw.Format)
+		emit(*asJSON, hub, "membw", bw, bw.Format)
 	}
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if hub != nil && !*asJSON {
+		fmt.Println("cycle attribution")
+		fmt.Print(scope.FormatAttribution(hub.Attribution()))
+	}
+	if err := scope.WriteArtifacts(hub, *tracePath, *metrics); err != nil {
+		log.Fatal(err)
 	}
 }

@@ -10,6 +10,7 @@
 //	judge                 # tables 5 and 6 plus figure 3 (runs the suite)
 //	judge -ppt4 [-full]   # the scalability study only
 //	judge -all
+//	judge -trace t.json -metrics m.csv   # observability artifacts
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"os"
 
 	"cedar/internal/params"
+	"cedar/internal/scope"
 	"cedar/internal/tables"
 )
 
@@ -26,19 +28,26 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("judge: ")
 	var (
-		ppt4Only = flag.Bool("ppt4", false, "run only the PPT4 scalability study")
-		full     = flag.Bool("full", false, "use the paper's largest problem sizes")
-		all      = flag.Bool("all", false, "run everything")
-		quiet    = flag.Bool("q", false, "suppress per-run progress lines")
+		ppt4Only  = flag.Bool("ppt4", false, "run only the PPT4 scalability study")
+		full      = flag.Bool("full", false, "use the paper's largest problem sizes")
+		all       = flag.Bool("all", false, "run everything")
+		quiet     = flag.Bool("q", false, "suppress per-run progress lines")
+		tracePath = flag.String("trace", "", "write a Chrome trace-event JSON file (Perfetto / chrome://tracing)")
+		metrics   = flag.String("metrics", "", "write the metrics snapshot as CSV")
 	)
 	flag.Parse()
+
+	var hub *scope.Hub
+	if *tracePath != "" || *metrics != "" {
+		hub = scope.NewHub()
+	}
 
 	if !*ppt4Only || *all {
 		progress := os.Stderr
 		if *quiet {
 			progress = nil
 		}
-		suite, err := tables.RunSuite(params.Default(), nil, progress)
+		suite, err := tables.RunSuite(params.Default(), nil, progress, hub)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -50,11 +59,18 @@ func main() {
 		fmt.Println(tables.BuildFigure3(suite).Format())
 	}
 	if *ppt4Only || *all {
-		res, err := tables.RunPPT4(*full)
+		res, err := tables.RunPPT4(*full, hub)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println("PPT4: code and architecture scalability")
 		fmt.Println(res.Format())
+	}
+	if hub != nil {
+		fmt.Println("cycle attribution")
+		fmt.Print(scope.FormatAttribution(hub.Attribution()))
+	}
+	if err := scope.WriteArtifacts(hub, *tracePath, *metrics); err != nil {
+		log.Fatal(err)
 	}
 }

@@ -9,6 +9,7 @@
 //	perfect              # full 13-code suite (several minutes)
 //	perfect -codes ARC2D,QCD,SPICE
 //	perfect -q           # suppress per-run progress
+//	perfect -trace t.json -metrics m.csv   # observability artifacts
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 
 	"cedar/internal/params"
 	"cedar/internal/perfect"
+	"cedar/internal/scope"
 	"cedar/internal/tables"
 )
 
@@ -30,8 +32,15 @@ func main() {
 	var (
 		codesFlag = flag.String("codes", "", "comma-separated subset of codes (default: all 13)")
 		quiet     = flag.Bool("q", false, "suppress per-run progress lines")
+		tracePath = flag.String("trace", "", "write a Chrome trace-event JSON file (Perfetto / chrome://tracing)")
+		metrics   = flag.String("metrics", "", "write the metrics snapshot as CSV")
 	)
 	flag.Parse()
+
+	var hub *scope.Hub
+	if *tracePath != "" || *metrics != "" {
+		hub = scope.NewHub()
+	}
 
 	codes := perfect.All()
 	if *codesFlag != "" {
@@ -55,7 +64,7 @@ func main() {
 	if *quiet {
 		progress = nil
 	}
-	suite, err := tables.RunSuite(params.Default(), codes, progress)
+	suite, err := tables.RunSuite(params.Default(), codes, progress, hub)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -63,4 +72,11 @@ func main() {
 	fmt.Println(tables.BuildTable3(suite).Format())
 	fmt.Println("Table 4: execution times for manually altered Perfect codes")
 	fmt.Println(tables.FormatTable4(tables.BuildTable4(suite)))
+	if hub != nil {
+		fmt.Println("cycle attribution")
+		fmt.Print(scope.FormatAttribution(hub.Attribution()))
+	}
+	if err := scope.WriteArtifacts(hub, *tracePath, *metrics); err != nil {
+		log.Fatal(err)
+	}
 }

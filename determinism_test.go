@@ -7,6 +7,7 @@
 package cedar_test
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 
@@ -62,6 +63,41 @@ func TestKernelCycleDeterminism(t *testing.T) {
 	}
 	if first.Flops != second.Flops || first.MFLOPS != second.MFLOPS {
 		t.Errorf("rank-64 update results disagree: %+v vs %+v", first.Result, second.Result)
+	}
+}
+
+// TestScopeArtifactsDeterminism is the observability acceptance check:
+// the same instrumented run twice must yield byte-identical Chrome trace
+// JSON and metrics CSV.
+func TestScopeArtifactsDeterminism(t *testing.T) {
+	run := func() (trace, metrics []byte) {
+		hub := cedar.NewHub()
+		m := cedar.NewMachine(cedar.DefaultParams(), cedar.Options{Scope: hub})
+		if _, err := cedar.RankUpdate(m, 64, cedar.RKPref); err != nil {
+			t.Fatal(err)
+		}
+		var tb, mb bytes.Buffer
+		if err := hub.WriteChromeTrace(&tb); err != nil {
+			t.Fatal(err)
+		}
+		if err := hub.WriteMetricsCSV(&mb); err != nil {
+			t.Fatal(err)
+		}
+		return tb.Bytes(), mb.Bytes()
+	}
+	t1, m1 := run()
+	t2, m2 := run()
+	if !bytes.Equal(t1, t2) {
+		t.Error("trace JSON differs between identical instrumented runs")
+	}
+	if !bytes.Equal(m1, m2) {
+		t.Error("metrics CSV differs between identical instrumented runs")
+	}
+	if !bytes.Contains(m1, []byte("ce.active_cycles")) {
+		t.Error("metrics CSV missing expected ce.active_cycles counter")
+	}
+	if !bytes.Contains(t1, []byte("traceEvents")) {
+		t.Error("trace output is not Chrome trace-event JSON")
 	}
 }
 

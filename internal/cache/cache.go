@@ -112,6 +112,19 @@ const queueCap = 8
 // Stats returns cumulative counters.
 func (c *Cache) Stats() Stats { return c.stats }
 
+// MSHRInUse returns the number of outstanding miss lines — an occupancy
+// gauge for the observability hub.
+func (c *Cache) MSHRInUse() int { return len(c.mshrs) }
+
+// QueuedRequests returns the word accesses waiting in per-CE queues.
+func (c *Cache) QueuedRequests() int {
+	n := 0
+	for _, q := range c.queues {
+		n += len(q)
+	}
+	return n
+}
+
 // Submit enqueues a word access for a CE. done fires when the word is
 // available (reads) or accepted (writes). It returns false when the CE's
 // queue is full; the caller retries next cycle.

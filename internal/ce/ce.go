@@ -126,6 +126,10 @@ func (c *CE) ActiveCycles() int64 { return c.activeCyc }
 // WaitCycles returns cycles spent idle waiting for the controller.
 func (c *CE) WaitCycles() int64 { return c.waitCyc }
 
+// StoresOutstanding returns the store acknowledgements still in flight —
+// an occupancy gauge for the observability hub.
+func (c *CE) StoresOutstanding() int { return c.storesOutstanding }
+
 // DoneAt returns the cycle the controller finished (valid once Idle).
 func (c *CE) DoneAt() int64 { return c.doneAt }
 

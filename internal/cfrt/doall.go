@@ -1,5 +1,7 @@
 package cfrt
 
+import "fmt"
+
 // startXDoall enters an XDOALL phase for one participant: the machine-wide
 // loop whose startup and scheduling run through global memory.
 func (r *Runtime) startXDoall(ci, k int, ph XDoall) {
@@ -147,6 +149,7 @@ func (r *Runtime) runClusterWork(ci, k int, cs *clusterCtl, iter int, work []Clu
 			cs.cd = &cd
 			cs.iterArg = iter
 			cs.startAt = at
+			cs.cdStartCy = cy
 			cs.gen++
 			r.waitUntil(ci, at, func() {
 				r.cdClaim(ci, k, cs, &cd, iter, true, next)
@@ -234,6 +237,10 @@ func (r *Runtime) cdJoin(ci int, cs *clusterCtl, cont func()) {
 		gen, doneAt, last := cs.cl.Bus.JoinArrive(cy)
 		r.post(ci, cy, EvCDJoin, gen)
 		if last {
+			// The last arrival closes the loop instance's trace span:
+			// broadcast to join completion.
+			r.obs.Span(fmt.Sprintf("cfrt/cluster%d", cs.cl.ID),
+				"cdoall", cs.cdStartCy, doneAt)
 			r.waitUntil(ci, doneAt, cont)
 			return
 		}

@@ -7,6 +7,7 @@ import (
 	"cedar/internal/core"
 	"cedar/internal/network"
 	"cedar/internal/perfmon"
+	"cedar/internal/scope"
 )
 
 // Runtime executes a phase program on a machine. It implements
@@ -35,6 +36,19 @@ type Runtime struct {
 
 	// tracer receives software events when attached (SetTracer).
 	tracer *perfmon.Tracer
+
+	// obs is the machine's observability hub (nil when off). Runtime
+	// events double as scope counters and phase/loop trace spans.
+	obs *scope.Hub
+	// phaseStart[k] is the cycle the first participant entered phase k
+	// (-1 until then); the phase span closes at the barrier pass, which
+	// fires exactly once per phase.
+	phaseStart       []int64
+	nPhaseEnters     int64
+	nClaims          int64
+	nBarrierArrivals int64
+	nCDStarts        int64
+	nCDJoins         int64
 }
 
 type ceCtl struct {
@@ -59,6 +73,9 @@ type clusterCtl struct {
 	cd      *CDoall
 	iterArg int
 	startAt int64
+	// cdStartCy is the broadcast cycle of the CDOALL in flight, the start
+	// of its trace span (closed by the last join arrival).
+	cdStartCy int64
 	// donePhase is the index of the SDOALL phase this cluster's master
 	// has completed (-1 initially); per-phase so stale completion from
 	// an earlier SDOALL cannot release workers early.
@@ -108,6 +125,16 @@ func New(m *core.Machine, cfg Config, phases ...Phase) *Runtime {
 		})
 	}
 	r.counterShadow = make([]int64, len(phases))
+	r.obs = m.Scope
+	r.phaseStart = make([]int64, len(phases))
+	for i := range r.phaseStart {
+		r.phaseStart[i] = -1
+	}
+	r.obs.Counter("cfrt.phase_enters", func() int64 { return r.nPhaseEnters })
+	r.obs.Counter("cfrt.claims", func() int64 { return r.nClaims })
+	r.obs.Counter("cfrt.barrier_arrivals", func() int64 { return r.nBarrierArrivals })
+	r.obs.Counter("cfrt.cd_starts", func() int64 { return r.nCDStarts })
+	r.obs.Counter("cfrt.cd_joins", func() int64 { return r.nCDJoins })
 	// Library path lengths: the non-sync claim performs the full lock /
 	// read / increment / write / unlock sequence over the network (≈4
 	// round trips ≈ 52 cycles); the rest of the ≈30 µs iteration fetch

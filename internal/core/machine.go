@@ -20,6 +20,7 @@ import (
 	"cedar/internal/network"
 	"cedar/internal/params"
 	"cedar/internal/perfmon"
+	"cedar/internal/scope"
 	"cedar/internal/sim"
 )
 
@@ -42,6 +43,10 @@ type Options struct {
 	// QueueWords overrides params.NetQueueWords when > 0 (queue-depth
 	// ablation).
 	QueueWords int
+	// Scope, when non-nil, is the observability hub every component
+	// publishes metrics, trace spans, and cycle attribution on. Nil (the
+	// default) builds an uninstrumented machine at zero overhead.
+	Scope *scope.Hub
 }
 
 // Cluster is one Alliant FX/8.
@@ -71,6 +76,9 @@ type Machine struct {
 	Mem      *gmem.Memory
 	Clusters []*Cluster
 	CEs      []*ce.CE
+	// Scope is the observability hub the machine was built with (nil when
+	// observability is off). The runtime picks it up automatically.
+	Scope *scope.Hub
 
 	nextGlobal uint64
 	flopsBase  int64
@@ -105,7 +113,7 @@ func New(p params.Machine, opt Options) (*Machine, error) {
 		return nil, fmt.Errorf("core: unknown fabric kind %d", opt.Fabric)
 	}
 
-	m := &Machine{P: p, Engine: sim.New(), Fwd: fwd, Rev: rev}
+	m := &Machine{P: p, Engine: sim.New(), Fwd: fwd, Rev: rev, Scope: opt.Scope}
 	m.Mem = gmem.New(p, fwd, rev, nil)
 
 	for cl := 0; cl < p.Clusters; cl++ {
@@ -139,6 +147,7 @@ func New(p params.Machine, opt Options) (*Machine, error) {
 		})
 	}
 	m.Engine.Register(fwd, m.Mem, rev)
+	m.instrument()
 	return m, nil
 }
 

@@ -93,6 +93,22 @@ func (m *Memory) Idle() bool {
 // Stats returns cumulative counters.
 func (m *Memory) Stats() Stats { return m.stats }
 
+// InFlight returns the accesses currently held in module pipelines plus
+// replies awaiting the reverse network — an occupancy gauge for the
+// observability hub.
+func (m *Memory) InFlight() int {
+	n := 0
+	for i := range m.mods {
+		md := &m.mods[i]
+		n += len(md.pipe) + len(md.out)
+	}
+	return n
+}
+
+// Modules returns the module count (the denominator for module-cycle
+// attribution).
+func (m *Memory) Modules() int { return len(m.mods) }
+
 // Store returns the backdoor store.
 func (m *Memory) Store() *Store { return m.data }
 

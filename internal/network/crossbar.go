@@ -56,6 +56,25 @@ func (c *Crossbar) Stats() Stats { return c.stats }
 // Idle implements Fabric.
 func (c *Crossbar) Idle() bool { return c.inflight == 0 }
 
+// Queued implements Fabric: words of every packet not yet polled — the
+// ideal crossbar buffers everything internally.
+func (c *Crossbar) Queued() int {
+	w := 0
+	for i := range c.pending {
+		w += c.pending[i].pkt.Words()
+	}
+	for p := range c.egress {
+		q := &c.egress[p]
+		for i := q.head; i < len(q.pkts); i++ {
+			w += q.pkts[i].Words()
+		}
+	}
+	return w
+}
+
+// Lines implements Fabric: a single-stage fabric has one wire per port.
+func (c *Crossbar) Lines() int { return c.ports }
+
 // Offer implements Fabric. An ideal crossbar never refuses.
 func (c *Crossbar) Offer(p *Packet) bool {
 	if p.Src < 0 || p.Src >= c.ports || p.Dst < 0 || p.Dst >= c.ports {

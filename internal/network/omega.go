@@ -30,6 +30,13 @@ type Fabric interface {
 	Idle() bool
 	// Stats returns cumulative traffic counters.
 	Stats() Stats
+	// Queued returns the words currently buffered inside the fabric —
+	// an instantaneous occupancy gauge for the observability hub.
+	Queued() int
+	// Lines returns the number of internal wire-cycles available per
+	// simulated cycle (ports × stages for a multistage fabric), the
+	// denominator for utilization attribution.
+	Lines() int
 }
 
 // Stats holds cumulative fabric counters.
@@ -172,6 +179,23 @@ func (o *Omega) Stats() Stats { return o.stats }
 
 // Idle implements Fabric.
 func (o *Omega) Idle() bool { return o.inflight == 0 }
+
+// Queued implements Fabric: words buffered in the stage and egress queues.
+func (o *Omega) Queued() int {
+	w := 0
+	for t := 0; t < o.stages; t++ {
+		for l := 0; l < o.ports; l++ {
+			w += o.in[t][l].words
+		}
+	}
+	for p := 0; p < o.ports; p++ {
+		w += o.egress[p].words
+	}
+	return w
+}
+
+// Lines implements Fabric: one output wire per line per stage.
+func (o *Omega) Lines() int { return o.ports * o.stages }
 
 // shuffle rotates the base-k digits of line left by one: the perfect
 // radix-k shuffle wiring between stages.

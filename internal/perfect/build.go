@@ -7,6 +7,7 @@ import (
 	"cedar/internal/cfrt"
 	"cedar/internal/core"
 	"cedar/internal/params"
+	"cedar/internal/scope"
 	"cedar/internal/vm"
 	"cedar/internal/xylem"
 )
@@ -31,12 +32,13 @@ type Outcome struct {
 	SimCycles int64 // cycles actually simulated (one slice)
 }
 
-// Run executes a code variant on a freshly built machine.
-func Run(pm params.Machine, p Profile, spec Spec) (Outcome, error) {
+// Run executes a code variant on a freshly built machine. An optional
+// scope hub observes the run (callers namespace it via Sub).
+func Run(pm params.Machine, p Profile, spec Spec, obs ...*scope.Hub) (Outcome, error) {
 	if err := p.Validate(); err != nil {
 		return Outcome{}, err
 	}
-	m, err := core.New(pm, core.Options{})
+	m, err := core.New(pm, core.Options{Scope: scope.Of(obs)})
 	if err != nil {
 		return Outcome{}, err
 	}

@@ -124,7 +124,15 @@ func (h *Histogram) Percentile(frac float64) int {
 	if total == 0 {
 		return 0
 	}
+	// Clamp the rank into [0, total-1]: frac=1 must select the largest
+	// occupied bin, not fall through to the last bin of the array.
 	target := int64(frac * float64(total))
+	if target >= total {
+		target = total - 1
+	}
+	if target < 0 {
+		target = 0
+	}
 	var cum int64
 	for b, v := range h.bins {
 		cum += int64(v)

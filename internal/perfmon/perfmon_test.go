@@ -138,3 +138,31 @@ func TestBlockStatsSortInvariantProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestHistogramPercentileExtremes(t *testing.T) {
+	// Regression: frac=1 must return the largest occupied bin, not fall
+	// through to the overflow bucket at the end of the bin array.
+	h := NewHistogram(1)
+	for i := 0; i < 100; i++ {
+		h.Add(i)
+	}
+	if p := h.Percentile(1.0); p != 99 {
+		t.Errorf("p100 = %d, want 99 (largest occupied bin)", p)
+	}
+
+	// All mass in a single bin: every percentile is that bin.
+	one := NewHistogram(1)
+	for i := 0; i < 7; i++ {
+		one.Add(42)
+	}
+	for _, frac := range []float64{0, 0.5, 1} {
+		if p := one.Percentile(frac); p != 42 {
+			t.Errorf("single-bin p%.0f = %d, want 42", 100*frac, p)
+		}
+	}
+
+	// Empty histogram: defined as 0 at any fraction.
+	if p := NewHistogram(1).Percentile(1); p != 0 {
+		t.Errorf("empty p100 = %d, want 0", p)
+	}
+}

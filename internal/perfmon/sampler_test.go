@@ -45,3 +45,19 @@ func TestSamplerIntervalClamped(t *testing.T) {
 		t.Errorf("interval %d, want clamp to 1", s.Interval)
 	}
 }
+
+func TestSamplerIntervalLongerThanRun(t *testing.T) {
+	// Only cycle 0 matches when the interval exceeds the run length, so
+	// each probe records exactly one sample.
+	s := NewSampler(1000)
+	h := s.Probe("v", func() int { return 5 })
+	for cy := int64(0); cy < 100; cy++ {
+		s.Tick(cy)
+	}
+	if got := h.Total(); got != 1 {
+		t.Fatalf("%d samples, want 1 (only cycle 0)", got)
+	}
+	if h.Count(5) != 1 {
+		t.Errorf("sample landed in the wrong bin")
+	}
+}

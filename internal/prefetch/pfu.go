@@ -43,6 +43,9 @@ type PFU struct {
 	fwd     network.Fabric
 	modFor  func(addr uint64) int
 	observe BlockObserver
+	// extraObs holds additional block observers (the observability hub's
+	// prefetch-block tracer) that ride alongside the primary observe hook.
+	extraObs []BlockObserver
 
 	buf   []slot
 	epoch uint32
@@ -90,8 +93,20 @@ func New(p params.Machine, port int, fwd network.Fabric, modFor func(uint64) int
 // SetObserver installs the hardware-monitor hook.
 func (u *PFU) SetObserver(o BlockObserver) { u.observe = o }
 
+// AddObserver installs an additional block observer without displacing the
+// one set via SetObserver. Observers fire in installation order.
+func (u *PFU) AddObserver(o BlockObserver) {
+	if o != nil {
+		u.extraObs = append(u.extraObs, o)
+	}
+}
+
 // Stats returns cumulative counters.
 func (u *PFU) Stats() Stats { return u.stats }
+
+// Outstanding returns the requests currently in flight to memory — an
+// occupancy gauge for the observability hub.
+func (u *PFU) Outstanding() int { return u.outstanding }
 
 // Arm prepares a prefetch of length words with the given stride (in words).
 // mask may be nil (all elements) or length bools selecting elements.
@@ -259,10 +274,16 @@ func (u *PFU) Consumed() int { return u.consumeIdx }
 
 // flushBlock reports the completed (or abandoned) block to the observer.
 func (u *PFU) flushBlock() {
-	if u.fired && u.observe != nil && u.firstIssue >= 0 && len(u.arrivals) > 0 {
+	if u.fired && (u.observe != nil || len(u.extraObs) > 0) &&
+		u.firstIssue >= 0 && len(u.arrivals) > 0 {
 		arr := make([]int64, len(u.arrivals))
 		copy(arr, u.arrivals)
-		u.observe(u.firstIssue, arr)
+		if u.observe != nil {
+			u.observe(u.firstIssue, arr)
+		}
+		for _, o := range u.extraObs {
+			o(u.firstIssue, arr)
+		}
 	}
 	u.fired = false
 }

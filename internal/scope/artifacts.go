@@ -1,0 +1,37 @@
+package scope
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// WriteArtifacts writes the hub's trace (Chrome trace-event JSON) and
+// metrics (CSV) to the given paths; an empty path skips that artifact.
+// The CLIs' -trace and -metrics flags funnel here so every tool emits
+// identical formats.
+func WriteArtifacts(h *Hub, tracePath, metricsPath string) error {
+	if tracePath != "" {
+		if err := writeFile(tracePath, h.WriteChromeTrace); err != nil {
+			return fmt.Errorf("scope: trace: %w", err)
+		}
+	}
+	if metricsPath != "" {
+		if err := writeFile(metricsPath, h.WriteMetricsCSV); err != nil {
+			return fmt.Errorf("scope: metrics: %w", err)
+		}
+	}
+	return nil
+}
+
+func writeFile(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,96 @@
+package scope
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Attr is a busy/stall/idle decomposition of one contributor's
+// component-cycles: Busy cycles did useful work, Stall cycles were spent
+// blocked on a resource, Idle cycles had nothing to do. The three need
+// not share a denominator across classes — each class reports in its own
+// component-cycles (CE-cycles, module-cycles, line-cycles, ...).
+type Attr struct {
+	Busy  int64
+	Stall int64
+	Idle  int64
+}
+
+type attrib struct {
+	class string
+	read  func() Attr
+}
+
+// Attribute registers a cycle-attribution contributor for a component
+// class ("ce", "gmem", "cache", ...). Contributors to the same class —
+// including ones registered through different Sub views — are summed, so
+// a sweep over many machines aggregates into one "where did the cycles
+// go" answer per class. Class names are deliberately not prefixed by Sub.
+func (h *Hub) Attribute(class string, read func() Attr) {
+	if h == nil || read == nil {
+		return
+	}
+	h.st.attribs = append(h.st.attribs, attrib{class: class, read: read})
+}
+
+// AttrRow is one class's aggregated attribution.
+type AttrRow struct {
+	Class string
+	Busy  int64
+	Stall int64
+	Idle  int64
+}
+
+// Attribution reads every contributor and returns per-class totals,
+// sorted by class name.
+func (h *Hub) Attribution() []AttrRow {
+	if h == nil {
+		return nil
+	}
+	byClass := map[string]*AttrRow{}
+	var order []string
+	for _, a := range h.st.attribs {
+		r := byClass[a.class]
+		if r == nil {
+			r = &AttrRow{Class: a.class}
+			byClass[a.class] = r
+			order = append(order, a.class)
+		}
+		v := a.read()
+		r.Busy += v.Busy
+		r.Stall += v.Stall
+		r.Idle += v.Idle
+	}
+	sort.Strings(order)
+	rows := make([]AttrRow, 0, len(order))
+	for _, c := range order {
+		rows = append(rows, *byClass[c])
+	}
+	return rows
+}
+
+// FormatAttribution renders the "where did the cycles go" table:
+// busy/stall/idle component-cycles and their shares, one row per class.
+func FormatAttribution(rows []AttrRow) string {
+	if len(rows) == 0 {
+		return "no attribution data (build the machine with a scope hub)\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %16s %16s %16s %7s %7s %7s\n",
+		"class", "busy", "stall", "idle", "busy%", "stall%", "idle%")
+	for _, r := range rows {
+		tot := r.Busy + r.Stall + r.Idle
+		pct := func(v int64) float64 {
+			if tot == 0 {
+				return 0
+			}
+			return 100 * float64(v) / float64(tot)
+		}
+		fmt.Fprintf(&b, "%-10s %16d %16d %16d %6.1f%% %6.1f%% %6.1f%%\n",
+			r.Class, r.Busy, r.Stall, r.Idle,
+			pct(r.Busy), pct(r.Stall), pct(r.Idle))
+	}
+	b.WriteString("component-cycles per class; stall = blocked on a resource, idle = no work\n")
+	return b.String()
+}

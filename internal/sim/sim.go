@@ -52,6 +52,19 @@ func (e *Engine) Cycle() int64 { return e.cycle }
 // Components returns the number of registered components.
 func (e *Engine) Components() int { return len(e.components) }
 
+// IdleCount returns how many registered components currently report Idle;
+// components that do not implement Idler count as idle. It is a liveness
+// gauge for the observability hub.
+func (e *Engine) IdleCount() int {
+	n := 0
+	for _, c := range e.components {
+		if id, ok := c.(Idler); !ok || id.Idle() {
+			n++
+		}
+	}
+	return n
+}
+
 // Step executes exactly one cycle.
 func (e *Engine) Step() {
 	for _, c := range e.components {

@@ -8,6 +8,7 @@ import (
 	"cedar/internal/core"
 	"cedar/internal/kernels"
 	"cedar/internal/params"
+	"cedar/internal/scope"
 )
 
 // NetworkAblationRow is one fabric configuration's result on the
@@ -25,18 +26,22 @@ type NetworkAblationRow struct {
 // prefetched rank-64 update on all 32 CEs under the omega network as
 // built (2-word queues), an omega with deeper (8-word) queues, and an
 // ideal crossbar of the same port bandwidth.
-func RunNetworkAblation(n int) ([]NetworkAblationRow, error) {
+func RunNetworkAblation(n int, obs ...*scope.Hub) ([]NetworkAblationRow, error) {
+	hub := scope.Of(obs)
 	configs := []struct {
 		name string
+		key  string // scope-namespace token (no spaces)
 		opt  core.Options
 	}{
-		{"omega 2-word queues (as built)", core.Options{Fabric: core.FabricOmega}},
-		{"omega 8-word queues", core.Options{Fabric: core.FabricOmega, QueueWords: 8}},
-		{"ideal crossbar", core.Options{Fabric: core.FabricCrossbar}},
+		{"omega 2-word queues (as built)", "omega-2w", core.Options{Fabric: core.FabricOmega}},
+		{"omega 8-word queues", "omega-8w", core.Options{Fabric: core.FabricOmega, QueueWords: 8}},
+		{"ideal crossbar", "crossbar", core.Options{Fabric: core.FabricCrossbar}},
 	}
 	var rows []NetworkAblationRow
 	for _, cfg := range configs {
-		m, err := core.New(params.Default(), cfg.opt)
+		opt := cfg.opt
+		opt.Scope = hub.Sub("net/" + cfg.key)
+		m, err := core.New(params.Default(), opt)
 		if err != nil {
 			return nil, err
 		}
@@ -80,12 +85,15 @@ type PrefetchBlockRow struct {
 // RunPrefetchBlockAblation isolates design choice 2 of DESIGN.md: the
 // compiler's 32-word blocks versus RK's aggressive 256-word blocks versus
 // no prefetch, on one cluster.
-func RunPrefetchBlockAblation(n int) ([]PrefetchBlockRow, error) {
+func RunPrefetchBlockAblation(n int, obs ...*scope.Hub) ([]PrefetchBlockRow, error) {
+	hub := scope.Of(obs)
 	p := params.Default()
 	p.Clusters = 1
 	var rows []PrefetchBlockRow
 	for _, block := range []int{0, 32, 128, 256, 512} {
-		m, err := core.New(p, core.Options{})
+		m, err := core.New(p, core.Options{
+			Scope: hub.Sub(fmt.Sprintf("prefblock/%d", block)),
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -137,11 +145,14 @@ type ScaledRow struct {
 // simulation data for various computations on scaled-up Cedar-like
 // systems"): the prefetched rank-64 update and CG on Cedar scaled to 8
 // clusters with a proportionally larger network and memory system.
-func RunScaledCedar(n int) ([]ScaledRow, error) {
+func RunScaledCedar(n int, obs ...*scope.Hub) ([]ScaledRow, error) {
+	hub := scope.Of(obs)
 	var rows []ScaledRow
 	for _, clusters := range []int{4, 8} {
 		pm := params.Scaled(clusters)
-		m, err := core.New(pm, core.Options{})
+		m, err := core.New(pm, core.Options{
+			Scope: hub.Sub(fmt.Sprintf("scaled/%dcl/rk", clusters)),
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -149,7 +160,9 @@ func RunScaledCedar(n int) ([]ScaledRow, error) {
 		if err != nil {
 			return nil, fmt.Errorf("scaled RK %d clusters: %w", clusters, err)
 		}
-		m2, err := core.New(pm, core.Options{})
+		m2, err := core.New(pm, core.Options{
+			Scope: hub.Sub(fmt.Sprintf("scaled/%dcl/cg", clusters)),
+		})
 		if err != nil {
 			return nil, err
 		}

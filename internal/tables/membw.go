@@ -6,6 +6,7 @@ import (
 	"cedar/internal/core"
 	"cedar/internal/kernels"
 	"cedar/internal/params"
+	"cedar/internal/scope"
 )
 
 // MemBWResult is the memory-system characterization study of [GJTV91],
@@ -20,12 +21,15 @@ type MemBWResult struct {
 // RunMemBW executes the sweep: CE counts across the machine, with unit
 // stride (all modules), a half-modules power-of-two stride, and the
 // full-conflict stride that serializes every reference on one module.
-func RunMemBW(wordsPerCE int) (*MemBWResult, error) {
+func RunMemBW(wordsPerCE int, obs ...*scope.Hub) (*MemBWResult, error) {
+	hub := scope.Of(obs)
 	p := params.Default()
 	res := &MemBWResult{}
 	for _, nCE := range []int{1, 2, 4, 8, 16, 32} {
 		for _, stride := range []int64{1, 2, int64(p.MemModules)} {
-			m, err := core.New(p, core.Options{})
+			m, err := core.New(p, core.Options{
+				Scope: hub.Sub(fmt.Sprintf("membw/%dce/stride%d", nCE, stride)),
+			})
 			if err != nil {
 				return nil, err
 			}

@@ -7,6 +7,7 @@ import (
 	"cedar/internal/cfrt"
 	"cedar/internal/core"
 	"cedar/internal/params"
+	"cedar/internal/scope"
 )
 
 // OverheadsResult measures the §3.2 runtime library costs on the
@@ -22,12 +23,13 @@ type OverheadsResult struct {
 }
 
 // RunOverheads performs the microbenchmarks.
-func RunOverheads() (*OverheadsResult, error) {
+func RunOverheads(obs ...*scope.Hub) (*OverheadsResult, error) {
+	hub := scope.Of(obs)
 	res := &OverheadsResult{}
 
 	// XDOALL startup: cycles from loop entry until the first iteration
 	// body executes (the paper's "typical loop startup latency").
-	t1, err := timeToFirstIteration()
+	t1, err := timeToFirstIteration(hub.Sub("overheads/startup"))
 	if err != nil {
 		return nil, err
 	}
@@ -36,21 +38,21 @@ func RunOverheads() (*OverheadsResult, error) {
 	// Iteration fetch: the marginal cost per iteration of an empty loop,
 	// measured on one CE to avoid overlap (iterations - 1 extra fetches).
 	const iters = 64
-	tMany, err := timeXDoallOneCE(iters, false)
+	tMany, err := timeXDoallOneCE(iters, false, hub.Sub(fmt.Sprintf("overheads/fetch-lib-%d", iters)))
 	if err != nil {
 		return nil, err
 	}
-	tOne, err := timeXDoallOneCE(1, false)
+	tOne, err := timeXDoallOneCE(1, false, hub.Sub("overheads/fetch-lib-1"))
 	if err != nil {
 		return nil, err
 	}
 	res.FetchNoSyncUS = (tMany - tOne) / float64(iters-1) * 1e6
 
-	tManyS, err := timeXDoallOneCE(iters, true)
+	tManyS, err := timeXDoallOneCE(iters, true, hub.Sub(fmt.Sprintf("overheads/fetch-sync-%d", iters)))
 	if err != nil {
 		return nil, err
 	}
-	tOneS, err := timeXDoallOneCE(1, true)
+	tOneS, err := timeXDoallOneCE(1, true, hub.Sub("overheads/fetch-sync-1"))
 	if err != nil {
 		return nil, err
 	}
@@ -67,8 +69,8 @@ func emptyBody(int) []*ce.Instr {
 
 // timeToFirstIteration measures XDOALL startup: the delay before any CE
 // executes the first iteration of a freshly started machine-wide loop.
-func timeToFirstIteration() (float64, error) {
-	m, err := core.New(params.Default(), core.Options{})
+func timeToFirstIteration(hub *scope.Hub) (float64, error) {
+	m, err := core.New(params.Default(), core.Options{Scope: hub})
 	if err != nil {
 		return 0, err
 	}
@@ -100,8 +102,8 @@ func timeXDoall(n int, sync bool) (float64, error) {
 	return res.Seconds, nil
 }
 
-func timeXDoallOneCE(n int, sync bool) (float64, error) {
-	m, err := core.New(params.Default(), core.Options{})
+func timeXDoallOneCE(n int, sync bool, hub *scope.Hub) (float64, error) {
+	m, err := core.New(params.Default(), core.Options{Scope: hub})
 	if err != nil {
 		return 0, err
 	}

@@ -8,6 +8,7 @@ import (
 	"cedar/internal/kernels"
 	"cedar/internal/params"
 	"cedar/internal/ppt"
+	"cedar/internal/scope"
 )
 
 // PPT4Point is one (P, N) measurement of the scalability study.
@@ -41,7 +42,8 @@ const ppt4Iters = 3
 
 // RunPPT4 executes the study. full selects the paper's largest sizes;
 // otherwise a reduced sweep with the same structure runs.
-func RunPPT4(full bool) (*PPT4Result, error) {
+func RunPPT4(full bool, obs ...*scope.Hub) (*PPT4Result, error) {
+	hub := scope.Of(obs)
 	ns := []int{1 << 10, 4 << 10, 16 << 10, 64 << 10}
 	if full {
 		ns = append(ns, 172<<10)
@@ -52,12 +54,12 @@ func RunPPT4(full bool) (*PPT4Result, error) {
 	// Per-processor-count baselines come from the 2-CE run scaled down;
 	// the efficiency baseline is a single CE running the same kernel.
 	for _, n := range ns {
-		base, err := runCG(n, 1)
+		base, err := runCG(n, 1, hub)
 		if err != nil {
 			return nil, err
 		}
 		for _, p := range ps {
-			out, err := runCG(n, p)
+			out, err := runCG(n, p, hub)
 			if err != nil {
 				return nil, err
 			}
@@ -72,7 +74,9 @@ func RunPPT4(full bool) (*PPT4Result, error) {
 	// Banded matvec on Cedar itself, 32 CEs, the CM-5 problem range.
 	for _, bw := range []int{3, 11} {
 		for _, n := range []int{16 << 10, 64 << 10} {
-			m, err := core.New(params.Default(), core.Options{})
+			m, err := core.New(params.Default(), core.Options{
+				Scope: hub.Sub(fmt.Sprintf("ppt4/banded/bw%d/n%d", bw, n)),
+			})
 			if err != nil {
 				return nil, err
 			}
@@ -101,9 +105,11 @@ func RunPPT4(full bool) (*PPT4Result, error) {
 	return res, nil
 }
 
-func runCG(n, p int) (core.Result, error) {
+func runCG(n, p int, hub *scope.Hub) (core.Result, error) {
 	pm := params.Default()
-	m, err := core.New(pm, core.Options{})
+	m, err := core.New(pm, core.Options{
+		Scope: hub.Sub(fmt.Sprintf("ppt4/cg/n%d/p%d", n, p)),
+	})
 	if err != nil {
 		return core.Result{}, err
 	}

@@ -7,6 +7,7 @@ import (
 
 	"cedar/internal/params"
 	"cedar/internal/perfect"
+	"cedar/internal/scope"
 )
 
 // ReportConfig selects what the full report includes and at what scale.
@@ -28,6 +29,9 @@ type ReportConfig struct {
 	// identical runs produce byte-identical reports; CLIs that want the
 	// timing pass time.Now.
 	Now func() time.Time
+	// Scope, when non-nil, observes every machine the report builds and
+	// adds a cycle-attribution section.
+	Scope *scope.Hub
 }
 
 // WriteReport regenerates the paper's complete evaluation and writes a
@@ -50,56 +54,56 @@ func WriteReport(w io.Writer, cfg ReportConfig) error {
 
 	if !cfg.SkipKernels {
 		section("§3.2 runtime overheads")
-		ov, err := RunOverheads()
+		ov, err := RunOverheads(cfg.Scope)
 		if err != nil {
 			return err
 		}
 		fmt.Fprint(w, ov.Format())
 
 		section(fmt.Sprintf("Table 1 — rank-64 update (n=%d)", cfg.RankN))
-		t1, err := RunTable1(cfg.RankN)
+		t1, err := RunTable1(cfg.RankN, cfg.Scope)
 		if err != nil {
 			return err
 		}
 		fmt.Fprint(w, t1.Format())
 
 		section("Table 2 — global memory performance")
-		t2, err := RunTable2Small()
+		t2, err := RunTable2Small(cfg.Scope)
 		if err != nil {
 			return err
 		}
 		fmt.Fprint(w, t2.Format())
 
 		section("[GJTV91] memory characterization")
-		bw, err := RunMemBW(2048)
+		bw, err := RunMemBW(2048, cfg.Scope)
 		if err != nil {
 			return err
 		}
 		fmt.Fprint(w, bw.Format())
 
 		section("[Turn93] network ablation")
-		net, err := RunNetworkAblation(cfg.RankN)
+		net, err := RunNetworkAblation(cfg.RankN, cfg.Scope)
 		if err != nil {
 			return err
 		}
 		fmt.Fprint(w, FormatNetworkAblation(net))
 
 		section("Prefetch block-size ablation")
-		pref, err := RunPrefetchBlockAblation(cfg.RankN)
+		pref, err := RunPrefetchBlockAblation(cfg.RankN, cfg.Scope)
 		if err != nil {
 			return err
 		}
 		fmt.Fprint(w, FormatPrefetchBlock(pref))
 
 		section("Loop scheduling ablation")
-		sched, err := RunSchedulingAblation()
+		sched, err := RunSchedulingAblation(cfg.Scope)
 		if err != nil {
 			return err
 		}
 		fmt.Fprint(w, FormatScheduling(sched))
 
 		section("PPT5 probe — scaled Cedar")
-		scaled, err := RunScaledCedar(cfg.RankN)
+		scaled, err := RunScaledCedar(cfg.RankN, cfg.Scope)
 		if err != nil {
 			return err
 		}
@@ -109,7 +113,7 @@ func WriteReport(w io.Writer, cfg ReportConfig) error {
 	var suite *SuiteResult
 	if !cfg.SkipPerfect || !cfg.SkipMethodology {
 		var err error
-		suite, err = RunSuite(params.Default(), cfg.Codes, cfg.Progress)
+		suite, err = RunSuite(params.Default(), cfg.Codes, cfg.Progress, cfg.Scope)
 		if err != nil {
 			return err
 		}
@@ -134,11 +138,16 @@ func WriteReport(w io.Writer, cfg ReportConfig) error {
 		fmt.Fprint(w, BuildFigure3(suite).Format())
 
 		section("PPT4 — scalability")
-		p4, err := RunPPT4(cfg.FullPPT4)
+		p4, err := RunPPT4(cfg.FullPPT4, cfg.Scope)
 		if err != nil {
 			return err
 		}
 		fmt.Fprint(w, p4.Format())
+	}
+
+	if cfg.Scope != nil {
+		section("Cycle attribution")
+		fmt.Fprint(w, scope.FormatAttribution(cfg.Scope.Attribution()))
 	}
 
 	if cfg.Now != nil {

@@ -7,6 +7,7 @@ import (
 	"cedar/internal/cfrt"
 	"cedar/internal/core"
 	"cedar/internal/params"
+	"cedar/internal/scope"
 )
 
 // SchedulingRow is one (policy, sync, workload) measurement of the loop
@@ -23,7 +24,8 @@ type SchedulingRow struct {
 // RunSchedulingAblation times a balanced and an imbalanced 512-iteration
 // loop under static, self- and guided scheduling, with and without the
 // Cedar synchronization instructions.
-func RunSchedulingAblation() ([]SchedulingRow, error) {
+func RunSchedulingAblation(obs ...*scope.Hub) ([]SchedulingRow, error) {
+	hub := scope.Of(obs)
 	balanced := func(i int) []*ce.Instr {
 		return []*ce.Instr{{Op: ce.OpScalar, Cycles: 60, Flops: 20}}
 	}
@@ -52,7 +54,9 @@ func RunSchedulingAblation() ([]SchedulingRow, error) {
 				if pol.sched == cfrt.StaticSchedule && !sync {
 					continue // static never claims; sync is irrelevant
 				}
-				m, err := core.New(params.Default(), core.Options{})
+				m, err := core.New(params.Default(), core.Options{
+					Scope: hub.Sub(fmt.Sprintf("sched/%s/%s/sync=%v", wl.name, pol.name, sync)),
+				})
 				if err != nil {
 					return nil, err
 				}

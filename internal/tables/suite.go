@@ -17,6 +17,7 @@ import (
 
 	"cedar/internal/params"
 	"cedar/internal/perfect"
+	"cedar/internal/scope"
 )
 
 // SuiteResult holds every Perfect outcome the later tables need.
@@ -33,7 +34,8 @@ type SuiteResult struct {
 
 // RunSuite executes all variants of the given Perfect codes (nil = full
 // suite). progress, if non-nil, receives one line per completed run.
-func RunSuite(pm params.Machine, codes []perfect.Profile, progress io.Writer) (*SuiteResult, error) {
+func RunSuite(pm params.Machine, codes []perfect.Profile, progress io.Writer, obs ...*scope.Hub) (*SuiteResult, error) {
+	hub := scope.Of(obs)
 	if codes == nil {
 		codes = perfect.All()
 	}
@@ -65,7 +67,8 @@ func RunSuite(pm params.Machine, codes []perfect.Profile, progress io.Writer) (*
 			if j.only && !hand[p.Name] {
 				continue
 			}
-			out, err := perfect.Run(pm, p, j.spec)
+			out, err := perfect.Run(pm, p, j.spec,
+				hub.Sub(fmt.Sprintf("perfect/%s/%s", p.Name, label(j.spec))))
 			if err != nil {
 				return nil, fmt.Errorf("tables: %s: %w", p.Name, err)
 			}

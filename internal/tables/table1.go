@@ -6,6 +6,7 @@ import (
 	"cedar/internal/core"
 	"cedar/internal/kernels"
 	"cedar/internal/params"
+	"cedar/internal/scope"
 )
 
 // Table1 reproduces "MFLOPS for rank-64 update on Cedar": three memory
@@ -21,8 +22,11 @@ type Table1Result struct {
 }
 
 // RunTable1 executes the sweep. n is the matrix order (the paper used 1K;
-// 256 preserves the shape at a fraction of the simulation cost).
-func RunTable1(n int) (*Table1Result, error) {
+// 256 preserves the shape at a fraction of the simulation cost). An
+// optional scope hub observes every machine in the sweep, each under its
+// own t1/<mode>/<k>cl namespace.
+func RunTable1(n int, obs ...*scope.Hub) (*Table1Result, error) {
+	hub := scope.Of(obs)
 	modes := []kernels.RKMode{kernels.RKNoPref, kernels.RKPref, kernels.RKCache}
 	res := &Table1Result{N: n, Modes: modes, MFLOPS: make([][]float64, len(modes))}
 	for mi, mode := range modes {
@@ -30,7 +34,9 @@ func RunTable1(n int) (*Table1Result, error) {
 		for clusters := 1; clusters <= 4; clusters++ {
 			p := params.Default()
 			p.Clusters = clusters
-			m, err := core.New(p, core.Options{})
+			m, err := core.New(p, core.Options{
+				Scope: hub.Sub(fmt.Sprintf("t1/%s/%dcl", rkShort(mode), clusters)),
+			})
 			if err != nil {
 				return nil, err
 			}
@@ -42,6 +48,20 @@ func RunTable1(n int) (*Table1Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// rkShort is the metric-namespace token for an RK mode (mode.String()
+// contains '/', which would split scope prefixes).
+func rkShort(m kernels.RKMode) string {
+	switch m {
+	case kernels.RKNoPref:
+		return "nopref"
+	case kernels.RKPref:
+		return "pref"
+	case kernels.RKCache:
+		return "cache"
+	}
+	return fmt.Sprintf("mode%d", int(m))
 }
 
 // PrefetchGain returns GM/pref over GM/no-pref per cluster count (the

@@ -3,9 +3,12 @@ package tables
 import (
 	"fmt"
 
+	"strings"
+
 	"cedar/internal/core"
 	"cedar/internal/kernels"
 	"cedar/internal/params"
+	"cedar/internal/scope"
 )
 
 // Table2 reproduces "Global memory performance": mean first-word latency
@@ -33,16 +36,16 @@ type table2Size struct {
 }
 
 // RunTable2 executes the kernel × processor-count sweep.
-func RunTable2() (*Table2Result, error) {
-	return runTable2(table2Size{vlWords: 4096, tmN: 16384, rkN: 192, cgN: 16384})
+func RunTable2(obs ...*scope.Hub) (*Table2Result, error) {
+	return runTable2(table2Size{vlWords: 4096, tmN: 16384, rkN: 192, cgN: 16384}, scope.Of(obs))
 }
 
 // RunTable2Small is a reduced version for tests.
-func RunTable2Small() (*Table2Result, error) {
-	return runTable2(table2Size{vlWords: 1024, tmN: 4096, rkN: 96, cgN: 4096})
+func RunTable2Small(obs ...*scope.Hub) (*Table2Result, error) {
+	return runTable2(table2Size{vlWords: 1024, tmN: 4096, rkN: 96, cgN: 4096}, scope.Of(obs))
 }
 
-func runTable2(sz table2Size) (*Table2Result, error) {
+func runTable2(sz table2Size, hub *scope.Hub) (*Table2Result, error) {
 	res := &Table2Result{
 		Kernels: []string{"VL", "TM", "RK", "CG"},
 		CEs:     []int{8, 16, 32},
@@ -59,7 +62,9 @@ func runTable2(sz table2Size) (*Table2Result, error) {
 		p := params.Default()
 		p.Clusters = ces / p.CEsPerCluster
 		run := func(name string, f func(m *core.Machine) (kernels.Result, error)) error {
-			m, err := core.New(p, core.Options{})
+			m, err := core.New(p, core.Options{
+				Scope: hub.Sub(fmt.Sprintf("t2/%s/%dce", strings.ToLower(name), ces)),
+			})
 			if err != nil {
 				return err
 			}
