@@ -11,6 +11,8 @@
 package cedar_test
 
 import (
+	"fmt"
+	"io"
 	"sync"
 	"testing"
 
@@ -266,6 +268,31 @@ func BenchmarkScaledCedar(b *testing.B) {
 		}
 		b.ReportMetric(rows[0].RKMFLOPS, "RK-4cl-MFLOPS")
 		b.ReportMetric(rows[len(rows)-1].RKMFLOPS, "RK-8cl-MFLOPS")
+	}
+}
+
+// BenchmarkSuiteParallel regenerates the kernel-level report sections at
+// 1 and 4 workers; the ratio of the two timings is the cedarfleet
+// speedup (≈1 on a single-core host; the 4-core acceptance target is
+// ≥2×). The run cache resets every iteration so the benchmark measures
+// simulation, not memoization.
+func BenchmarkSuiteParallel(b *testing.B) {
+	for _, jobs := range []int{1, 4} {
+		b.Run(fmt.Sprintf("jobs%d", jobs), func(b *testing.B) {
+			cedar.SetJobs(jobs)
+			b.Cleanup(func() { cedar.SetJobs(0) })
+			for i := 0; i < b.N; i++ {
+				cedar.ResetRunCache()
+				err := cedar.WriteReport(io.Discard, cedar.ReportConfig{
+					RankN:           benchTableN,
+					SkipPerfect:     true,
+					SkipMethodology: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

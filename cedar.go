@@ -33,6 +33,7 @@ import (
 	"cedar/internal/ce"
 	"cedar/internal/cfrt"
 	"cedar/internal/core"
+	"cedar/internal/fleet"
 	"cedar/internal/kernels"
 	"cedar/internal/params"
 	"cedar/internal/perfect"
@@ -314,6 +315,25 @@ var WriteScopeArtifacts = scope.WriteArtifacts
 
 // FormatAttribution renders the per-class cycle attribution table.
 var FormatAttribution = scope.FormatAttribution
+
+// Parallel orchestration: the cedarfleet pool (see internal/fleet). Each
+// simulated machine remains single-goroutine — the pool dispatches whole
+// independent experiment points and reassembles results in submission
+// order, so every report, JSON, and trace artifact is byte-identical to a
+// sequential run.
+
+// SetJobs sets the process-wide worker count used by the experiment
+// runners (RunTable1 ... RunPPT4, RunPerfectSuite, WriteReport). n ≤ 0
+// restores the default, GOMAXPROCS. The CLIs wire their -jobs flag here.
+var SetJobs = fleet.SetJobs
+
+// Jobs reports the effective worker count.
+var Jobs = fleet.Jobs
+
+// ResetRunCache drops the process-wide memoized run results. Repeated
+// identical configurations normally simulate once per process; reset when
+// benchmarking raw simulation speed.
+var ResetRunCache = fleet.ResetCache
 
 // RunOverheads measures the §3.2 runtime library costs.
 var RunOverheads = tables.RunOverheads

@@ -10,6 +10,7 @@
 //	cedarreport -codes ARC2D,QCD,SPICE # fast Perfect subset
 //	cedarreport -kernels-only
 //	cedarreport -trace t.json -metrics m.csv   # observability artifacts
+//	cedarreport -jobs 8                # parallel experiment points, identical report
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"strings"
 	"time"
 
+	"cedar/internal/fleet"
 	"cedar/internal/perfect"
 	"cedar/internal/scope"
 	"cedar/internal/tables"
@@ -35,8 +37,10 @@ func main() {
 		quiet     = flag.Bool("q", false, "suppress progress lines")
 		tracePath = flag.String("trace", "", "write a Chrome trace-event JSON file (Perfetto / chrome://tracing)")
 		metrics   = flag.String("metrics", "", "write the metrics snapshot as CSV")
+		jobs      = flag.Int("jobs", 0, "parallel experiment jobs (0 = GOMAXPROCS); output is identical at any value")
 	)
 	flag.Parse()
+	fleet.SetJobs(*jobs)
 
 	var hub *scope.Hub
 	if *tracePath != "" || *metrics != "" {

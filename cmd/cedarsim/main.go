@@ -15,7 +15,9 @@
 //
 // Any run accepts -trace FILE (Chrome trace-event JSON for Perfetto or
 // chrome://tracing) and -metrics FILE (metrics snapshot CSV); -json embeds
-// the per-run metric snapshot next to each result.
+// the per-run metric snapshot next to each result. -jobs N simulates
+// independent experiment points in parallel; output is byte-identical at
+// any job count.
 package main
 
 import (
@@ -25,6 +27,7 @@ import (
 	"log"
 	"os"
 
+	"cedar/internal/fleet"
 	"cedar/internal/scope"
 	"cedar/internal/tables"
 )
@@ -66,8 +69,10 @@ func main() {
 		all       = flag.Bool("all", false, "run everything")
 		tracePath = flag.String("trace", "", "write a Chrome trace-event JSON file (Perfetto / chrome://tracing)")
 		metrics   = flag.String("metrics", "", "write the metrics snapshot as CSV")
+		jobs      = flag.Int("jobs", 0, "parallel experiment jobs (0 = GOMAXPROCS); output is identical at any value")
 	)
 	flag.Parse()
+	fleet.SetJobs(*jobs)
 
 	// The hub exists whenever an artifact or JSON metrics are wanted;
 	// otherwise machines are built uninstrumented at zero cost.

@@ -11,6 +11,7 @@
 //	judge -ppt4 [-full]   # the scalability study only
 //	judge -all
 //	judge -trace t.json -metrics m.csv   # observability artifacts
+//	judge -jobs 8         # parallel suite/sweep points, identical output
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"log"
 	"os"
 
+	"cedar/internal/fleet"
 	"cedar/internal/params"
 	"cedar/internal/scope"
 	"cedar/internal/tables"
@@ -34,8 +36,10 @@ func main() {
 		quiet     = flag.Bool("q", false, "suppress per-run progress lines")
 		tracePath = flag.String("trace", "", "write a Chrome trace-event JSON file (Perfetto / chrome://tracing)")
 		metrics   = flag.String("metrics", "", "write the metrics snapshot as CSV")
+		jobs      = flag.Int("jobs", 0, "parallel experiment jobs (0 = GOMAXPROCS); output is identical at any value")
 	)
 	flag.Parse()
+	fleet.SetJobs(*jobs)
 
 	var hub *scope.Hub
 	if *tracePath != "" || *metrics != "" {

@@ -10,6 +10,7 @@
 //	perfect -codes ARC2D,QCD,SPICE
 //	perfect -q           # suppress per-run progress
 //	perfect -trace t.json -metrics m.csv   # observability artifacts
+//	perfect -jobs 8      # parallel code/variant runs, identical output
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"os"
 	"strings"
 
+	"cedar/internal/fleet"
 	"cedar/internal/params"
 	"cedar/internal/perfect"
 	"cedar/internal/scope"
@@ -34,8 +36,10 @@ func main() {
 		quiet     = flag.Bool("q", false, "suppress per-run progress lines")
 		tracePath = flag.String("trace", "", "write a Chrome trace-event JSON file (Perfetto / chrome://tracing)")
 		metrics   = flag.String("metrics", "", "write the metrics snapshot as CSV")
+		jobs      = flag.Int("jobs", 0, "parallel experiment jobs (0 = GOMAXPROCS); output is identical at any value")
 	)
 	flag.Parse()
+	fleet.SetJobs(*jobs)
 
 	var hub *scope.Hub
 	if *tracePath != "" || *metrics != "" {

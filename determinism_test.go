@@ -8,6 +8,7 @@ package cedar_test
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -98,6 +99,107 @@ func TestScopeArtifactsDeterminism(t *testing.T) {
 	}
 	if !bytes.Contains(t1, []byte("traceEvents")) {
 		t.Error("trace output is not Chrome trace-event JSON")
+	}
+}
+
+// TestParallelVsSequentialEquality is the cedarfleet acceptance check:
+// the worker pool must be invisible in every observable byte stream. It
+// runs a representative slice of the experiment suite at -jobs 1 and
+// -jobs 8 and byte-compares the formatted report text, the cedarsim
+// -json rendering, and the hub's trace and metrics artifacts. It runs
+// under -race on purpose — the pool is enabled, so the detector sees the
+// real parallel execution.
+func TestParallelVsSequentialEquality(t *testing.T) {
+	type artifacts struct {
+		report, jsonOut, trace, metrics []byte
+	}
+	run := func(jobs int) artifacts {
+		t.Helper()
+		cedar.SetJobs(jobs)
+		defer cedar.SetJobs(0)
+		cedar.ResetRunCache()
+		hub := cedar.NewHub()
+		var rep bytes.Buffer
+
+		t1, err := cedar.RunTable1(64, hub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep.WriteString(t1.Format())
+		ov, err := cedar.RunOverheads(hub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep.WriteString(ov.Format())
+		bw, err := cedar.RunMemBW(256, hub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep.WriteString(bw.Format())
+		rep.WriteString(cedar.FormatAttribution(hub.Attribution()))
+
+		// The cedarsim -json shape: result plus the experiment's metric
+		// slice.
+		jsonOut, err := json.MarshalIndent(struct {
+			Result  *cedar.Table1Result  `json:"result"`
+			Metrics []cedar.MetricSample `json:"metrics"`
+		}{t1, hub.SnapshotUnder("t1")}, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		var tb, mb bytes.Buffer
+		if err := hub.WriteChromeTrace(&tb); err != nil {
+			t.Fatal(err)
+		}
+		if err := hub.WriteMetricsCSV(&mb); err != nil {
+			t.Fatal(err)
+		}
+		return artifacts{rep.Bytes(), jsonOut, tb.Bytes(), mb.Bytes()}
+	}
+
+	seq, par := run(1), run(8)
+	for _, cmp := range []struct {
+		name      string
+		got, want []byte
+	}{
+		{"report text", par.report, seq.report},
+		{"JSON output", par.jsonOut, seq.jsonOut},
+		{"trace JSON", par.trace, seq.trace},
+		{"metrics CSV", par.metrics, seq.metrics},
+	} {
+		if !bytes.Equal(cmp.got, cmp.want) {
+			t.Errorf("%s differs between -jobs 1 and -jobs 8", cmp.name)
+		}
+	}
+	if len(seq.metrics) == 0 || len(seq.trace) == 0 {
+		t.Error("equality check ran without artifacts; the hub saw nothing")
+	}
+}
+
+// TestRunCacheMemoizes checks the process-wide run cache: with no hub
+// attached, repeating an experiment reuses the memoized result, and
+// ResetRunCache forces a fresh simulation.
+func TestRunCacheMemoizes(t *testing.T) {
+	cedar.ResetRunCache()
+	first, err := cedar.RunOverheads()
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := cedar.RunOverheads()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *first != *second {
+		t.Errorf("memoized overheads disagree: %+v vs %+v", first, second)
+	}
+	cedar.ResetRunCache()
+	third, err := cedar.RunOverheads()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *first != *third {
+		t.Errorf("fresh run after ResetRunCache disagrees: %+v vs %+v", first, third)
 	}
 }
 

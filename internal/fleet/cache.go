@@ -1,0 +1,88 @@
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+)
+
+// Cache is a content-addressed, single-flight run cache: the first job to
+// present a key computes the value while concurrent presenters of the same
+// key wait for it, and later presenters reuse it outright. Simulations are
+// deterministic, so a cached outcome is indistinguishable from a re-run.
+type Cache struct {
+	mu sync.Mutex
+	m  map[string]*entry
+}
+
+type entry struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{m: map[string]*entry{}}
+}
+
+// shared is the process-wide cache: configurations repeated across suites
+// (the same machine running the same workload for two different tables)
+// simulate once per process.
+var shared = NewCache()
+
+// ResetCache empties the process-wide shared cache. Benchmarks and
+// equality tests use it to force re-simulation.
+func ResetCache() { shared.Clear() }
+
+// do returns the cached value for key, computing it via compute on first
+// presentation. Concurrent callers of the same key block until the first
+// computation finishes (single flight). Errors are cached too: the
+// simulator is deterministic, so a failing configuration fails again.
+func (c *Cache) do(key string, compute func() (any, error)) (any, error) {
+	c.mu.Lock()
+	if e, ok := c.m[key]; ok {
+		c.mu.Unlock()
+		<-e.done
+		return e.val, e.err
+	}
+	e := &entry{done: make(chan struct{})}
+	c.m[key] = e
+	c.mu.Unlock()
+	e.val, e.err = compute()
+	close(e.done)
+	return e.val, e.err
+}
+
+// Len returns the number of cached (or in-flight) keys.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Clear empties the cache. In-flight computations complete normally but
+// are not retained.
+func (c *Cache) Clear() {
+	c.mu.Lock()
+	c.m = map[string]*entry{}
+	c.mu.Unlock()
+}
+
+// Key builds a content-addressed cache key: a stable hash over the
+// experiment kind and every input that affects the result (machine
+// parameters, workload profile or size, scheduling policy, ablation
+// switches). Parts are serialized with %#v, so they must be plain values —
+// structs of scalars, slices, strings — never pointers or maps, whose
+// rendering is not stable. Distinct inputs yield distinct keys; the kind
+// label keeps experiments with coincidentally equal inputs (and different
+// result types) apart.
+func Key(kind string, parts ...any) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s", kind)
+	for _, p := range parts {
+		fmt.Fprintf(h, "|%#v", p)
+	}
+	return kind + ":" + hex.EncodeToString(h.Sum(nil)[:16])
+}

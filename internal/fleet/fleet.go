@@ -1,0 +1,163 @@
+// Package fleet is the deterministic parallel experiment orchestrator.
+//
+// The simulator itself is strictly single-goroutine: the engine ticks
+// components in registration order and that order is part of the model.
+// What fleet parallelizes is the level above — independent experiment
+// points (one whole machine simulation each: a table row, an ablation
+// configuration, a Perfect-code variant, a PPT sweep point). Jobs are
+// dispatched to a bounded worker pool and results are reassembled in
+// submission order, so every report, JSON and trace artifact is
+// byte-identical to a sequential run. Per-job scope hubs are forked from
+// the caller's hub and adopted back in submission order (scope.Hub.Fork /
+// Adopt), which keeps -trace and -metrics output stable under any worker
+// count.
+//
+// A content-addressed run cache (Cache, keyed via Key over machine
+// parameters, workload profile and scheduling policy) memoizes repeated
+// configurations so they simulate once per process. Caching applies only
+// to unobserved jobs: a cache hit skips the simulation, so it cannot
+// replay instrumentation, and jobs running under a hub therefore always
+// execute.
+package fleet
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"cedar/internal/scope"
+)
+
+// Job is one experiment point: an independent simulation (or any other
+// self-contained computation) producing a T.
+type Job[T any] struct {
+	// Key, when non-empty, memoizes the job in the run cache. It must be
+	// content-addressed over every input that affects the result (build it
+	// with Key). Jobs observed by a hub ignore it.
+	Key string
+	// Run executes the point. hub is the job's private scope view (nil
+	// when the caller runs unobserved); the job must build all mutable
+	// state — machine, runtime, hub sub-namespaces — from scratch so
+	// nothing is shared with concurrently running jobs.
+	Run func(hub *scope.Hub) (T, error)
+}
+
+// Config controls one Run call.
+type Config struct {
+	// Jobs is the worker count; 0 means the process-wide default
+	// (SetJobs, falling back to GOMAXPROCS).
+	Jobs int
+	// Hub, when non-nil, observes every job through a forked child hub
+	// that is adopted back in submission order.
+	Hub *scope.Hub
+	// Cache overrides the process-wide run cache. nil selects the shared
+	// cache; use a private Cache (or clear the shared one) in benchmarks
+	// that must re-simulate.
+	Cache *Cache
+}
+
+// defaultJobs holds the process-wide worker default set via SetJobs;
+// 0 means "use GOMAXPROCS".
+var defaultJobs atomic.Int32
+
+// SetJobs sets the process-wide default worker count used when
+// Config.Jobs is zero. n <= 0 restores the GOMAXPROCS default. CLIs wire
+// their -jobs flag here.
+func SetJobs(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultJobs.Store(int32(n))
+}
+
+// Jobs returns the process-wide default worker count.
+func Jobs() int {
+	if n := defaultJobs.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run executes the jobs on a bounded worker pool and returns their
+// results in submission order. With one worker (the default on a
+// single-CPU host, or Config{Jobs: 1}) jobs run inline on the caller's
+// goroutine against the caller's hub — exactly the pre-fleet sequential
+// code path. With more workers each job runs against a forked hub;
+// children are adopted back in submission order after all jobs finish, so
+// artifacts are byte-identical to the sequential run. On failure the
+// error of the earliest-submitted failing job is returned.
+func Run[T any](cfg Config, jobs []Job[T]) ([]T, error) {
+	if len(jobs) == 0 {
+		return nil, nil
+	}
+	cache := cfg.Cache
+	if cache == nil {
+		cache = shared
+	}
+	workers := cfg.Jobs
+	if workers <= 0 {
+		workers = Jobs()
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	results := make([]T, len(jobs))
+	if workers <= 1 {
+		for i, j := range jobs {
+			out, err := runOne(j, cfg.Hub, cache)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = out
+		}
+		return results, nil
+	}
+
+	hubs := make([]*scope.Hub, len(jobs))
+	errs := make([]error, len(jobs))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		//lint:allow nondeterminism the pool runs whole independent simulations; each engine stays single-goroutine and results merge in submission order
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				hubs[i] = cfg.Hub.Fork()
+				results[i], errs[i] = runOne(jobs[i], hubs[i], cache)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, h := range hubs {
+		cfg.Hub.Adopt(h)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// runOne executes one job, through the cache when it is unobserved and
+// keyed.
+func runOne[T any](j Job[T], hub *scope.Hub, cache *Cache) (T, error) {
+	if j.Key != "" && hub == nil && cache != nil {
+		v, err := cache.do(j.Key, func() (any, error) { return j.Run(nil) })
+		if err != nil {
+			var zero T
+			return zero, err
+		}
+		if tv, ok := v.(T); ok {
+			return tv, nil
+		}
+		// A key collision across result types is a caller bug; recompute
+		// rather than return a foreign value.
+	}
+	return j.Run(hub)
+}

@@ -1,0 +1,206 @@
+package fleet
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cedar/internal/params"
+	"cedar/internal/scope"
+)
+
+// TestRunOrdering is the worker-pool ordering contract: results come back
+// in submission order regardless of completion order.
+func TestRunOrdering(t *testing.T) {
+	const n = 16
+	jobs := make([]Job[int], n)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{Run: func(*scope.Hub) (int, error) {
+			// Later submissions finish first, so in-order reassembly is
+			// actually exercised.
+			time.Sleep(time.Duration(n-i) * time.Millisecond)
+			return i * i, nil
+		}}
+	}
+	got, err := Run(Config{Jobs: 8, Cache: NewCache()}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Errorf("result[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+// TestHubBytesIdenticalAcrossWorkerCounts checks the per-job hub plumbing:
+// metrics, spans and attribution posted by jobs must serialize identically
+// whether the pool ran with one worker or eight.
+func TestHubBytesIdenticalAcrossWorkerCounts(t *testing.T) {
+	artifacts := func(workers int) (csv, trace []byte) {
+		hub := scope.NewHub()
+		jobs := make([]Job[int], 6)
+		for i := range jobs {
+			i := i
+			jobs[i] = Job[int]{Run: func(h *scope.Hub) (int, error) {
+				sub := h.Sub(fmt.Sprintf("job%d", i))
+				sub.Counter("value", func() int64 { return int64(i) })
+				sub.Span("work", "run", int64(i*10), int64(i*10+3))
+				sub.Attribute("job", func() scope.Attr { return scope.Attr{Busy: int64(i)} })
+				return i, nil
+			}}
+		}
+		if _, err := Run(Config{Jobs: workers, Hub: hub, Cache: NewCache()}, jobs); err != nil {
+			t.Fatal(err)
+		}
+		var cb, tb bytes.Buffer
+		if err := hub.WriteMetricsCSV(&cb); err != nil {
+			t.Fatal(err)
+		}
+		if err := hub.WriteChromeTrace(&tb); err != nil {
+			t.Fatal(err)
+		}
+		return cb.Bytes(), tb.Bytes()
+	}
+	c1, t1 := artifacts(1)
+	c8, t8 := artifacts(8)
+	if !bytes.Equal(c1, c8) {
+		t.Errorf("metrics CSV differs between 1 and 8 workers:\n1:\n%s\n8:\n%s", c1, c8)
+	}
+	if !bytes.Equal(t1, t8) {
+		t.Error("trace JSON differs between 1 and 8 workers")
+	}
+}
+
+// TestCacheSingleFlight checks memoization: eight concurrent jobs with one
+// key simulate once and all read the same value.
+func TestCacheSingleFlight(t *testing.T) {
+	var computes atomic.Int64
+	cache := NewCache()
+	jobs := make([]Job[int], 8)
+	for i := range jobs {
+		jobs[i] = Job[int]{
+			Key: "same-point",
+			Run: func(*scope.Hub) (int, error) {
+				computes.Add(1)
+				return 42, nil
+			},
+		}
+	}
+	got, err := Run(Config{Jobs: 8, Cache: cache}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := computes.Load(); n != 1 {
+		t.Errorf("compute ran %d times, want 1 (single flight)", n)
+	}
+	for i, v := range got {
+		if v != 42 {
+			t.Errorf("result[%d] = %d, want 42", i, v)
+		}
+	}
+	// A later Run against the same cache reuses the value outright.
+	if _, err := Run(Config{Jobs: 1, Cache: cache}, jobs[:2]); err != nil {
+		t.Fatal(err)
+	}
+	if n := computes.Load(); n != 1 {
+		t.Errorf("compute ran %d times after second Run, want 1", n)
+	}
+}
+
+// TestHubDisablesCache: a cache hit skips the simulation and therefore
+// cannot replay instrumentation, so observed jobs must always execute.
+func TestHubDisablesCache(t *testing.T) {
+	var computes atomic.Int64
+	cache := NewCache()
+	job := Job[int]{Key: "observed-point", Run: func(h *scope.Hub) (int, error) {
+		computes.Add(1)
+		h.Counter("ran", func() int64 { return 1 })
+		return 7, nil
+	}}
+	hub := scope.NewHub()
+	for i := 0; i < 3; i++ {
+		if _, err := Run(Config{Jobs: 1, Hub: hub, Cache: cache}, []Job[int]{job}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := computes.Load(); n != 3 {
+		t.Errorf("observed job ran %d times, want 3 (cache must be bypassed)", n)
+	}
+	if cache.Len() != 0 {
+		t.Errorf("cache holds %d keys after observed runs, want 0", cache.Len())
+	}
+	if hub.Metrics() != 3 {
+		t.Errorf("hub has %d metrics, want 3", hub.Metrics())
+	}
+}
+
+// TestKeyDistinctInputs: the run-cache key must separate any two
+// configurations that differ in machine parameters, workload, or policy.
+func TestKeyDistinctInputs(t *testing.T) {
+	base := params.Default()
+	k1 := Key("perfect", base, "ARC2D", "auto")
+	if k2 := Key("perfect", base, "ARC2D", "auto"); k2 != k1 {
+		t.Errorf("identical inputs produced distinct keys:\n%s\n%s", k1, k2)
+	}
+	mutated := base
+	mutated.Clusters = base.Clusters + 1
+	distinct := []string{
+		Key("perfect", mutated, "ARC2D", "auto"),
+		Key("perfect", base, "QCD", "auto"),
+		Key("perfect", base, "ARC2D", "serial"),
+		Key("table1", base, "ARC2D", "auto"),
+	}
+	seen := map[string]bool{k1: true}
+	for i, k := range distinct {
+		if seen[k] {
+			t.Errorf("key %d (%s) collides with an earlier configuration", i, k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestRunErrorEarliestWins(t *testing.T) {
+	errA := errors.New("job 2 failed")
+	errB := errors.New("job 5 failed")
+	jobs := make([]Job[int], 8)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{Run: func(*scope.Hub) (int, error) {
+			switch i {
+			case 2:
+				return 0, errA
+			case 5:
+				return 0, errB
+			}
+			return i, nil
+		}}
+	}
+	_, err := Run(Config{Jobs: 4, Cache: NewCache()}, jobs)
+	if !errors.Is(err, errA) {
+		t.Errorf("err = %v, want the earliest-submitted failure %v", err, errA)
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	got, err := Run[int](Config{Jobs: 8}, nil)
+	if err != nil || got != nil {
+		t.Errorf("Run(nil) = %v, %v; want nil, nil", got, err)
+	}
+}
+
+func TestJobsDefault(t *testing.T) {
+	SetJobs(0)
+	if Jobs() < 1 {
+		t.Errorf("default Jobs() = %d, want >= 1", Jobs())
+	}
+	SetJobs(3)
+	if Jobs() != 3 {
+		t.Errorf("Jobs() after SetJobs(3) = %d", Jobs())
+	}
+	SetJobs(0)
+}

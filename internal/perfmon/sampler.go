@@ -47,6 +47,15 @@ func (s *Sampler) Tick(cycle int64) {
 	}
 }
 
+// NextWakeup implements sim.Sleeper: between sample boundaries Tick is a
+// no-op, so the engine may fast-forward to the next multiple of Interval.
+func (s *Sampler) NextWakeup(now int64) int64 {
+	if now%s.Interval == 0 {
+		return now
+	}
+	return now - now%s.Interval + s.Interval
+}
+
 // Histogram returns the histogram for a named probe, or nil.
 func (s *Sampler) Histogram(name string) *Histogram {
 	for i := range s.probes {

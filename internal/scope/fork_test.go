@@ -1,0 +1,133 @@
+package scope
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestForkAdoptMatchesSequential is the parallel-artifact contract: posting
+// a workload through forked children adopted in submission order must
+// produce the same hub contents as posting it directly.
+func TestForkAdoptMatchesSequential(t *testing.T) {
+	post := func(h *Hub, run int) {
+		sub := h.Sub("run")
+		sub.Counter("ops", func() int64 { return int64(run) })
+		sub.Counter("ops", func() int64 { return int64(run + 100) }) // collides
+		sub.Gauge("depth", func() int64 { return 7 })
+		sub.Span("track", "work", int64(run*10), int64(run*10+5))
+		sub.Attribute("ce", func() Attr { return Attr{Busy: int64(run)} })
+	}
+
+	seq := NewHub()
+	for run := 0; run < 3; run++ {
+		post(seq, run)
+	}
+
+	par := NewHub()
+	children := make([]*Hub, 3)
+	for run := 0; run < 3; run++ {
+		children[run] = par.Fork()
+		post(children[run], run)
+	}
+	for _, c := range children {
+		par.Adopt(c)
+	}
+
+	var seqCSV, parCSV, seqTr, parTr bytes.Buffer
+	if err := seq.WriteMetricsCSV(&seqCSV); err != nil {
+		t.Fatal(err)
+	}
+	if err := par.WriteMetricsCSV(&parCSV); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seqCSV.Bytes(), parCSV.Bytes()) {
+		t.Errorf("metrics CSV differs:\nsequential:\n%s\nforked:\n%s", seqCSV.String(), parCSV.String())
+	}
+	if err := seq.WriteChromeTrace(&seqTr); err != nil {
+		t.Fatal(err)
+	}
+	if err := par.WriteChromeTrace(&parTr); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seqTr.Bytes(), parTr.Bytes()) {
+		t.Error("trace JSON differs between sequential and fork/adopt posting")
+	}
+
+	seqAt, parAt := seq.Attribution(), par.Attribution()
+	if len(seqAt) != len(parAt) {
+		t.Fatalf("attribution rows: %d sequential vs %d forked", len(seqAt), len(parAt))
+	}
+	for i := range seqAt {
+		if seqAt[i] != parAt[i] {
+			t.Errorf("attribution row %d: %+v vs %+v", i, seqAt[i], parAt[i])
+		}
+	}
+}
+
+// TestForkAdoptDropAccounting checks that span drops are additive: a child
+// inherits the parent's capacity, and adoption re-applies the parent's
+// remaining room, so kept spans and the dropped count both match the
+// sequential run.
+func TestForkAdoptDropAccounting(t *testing.T) {
+	const capSpans = 4
+	fill := func(h *Hub, jobs, spansPerJob int, fork bool) *Hub {
+		for j := 0; j < jobs; j++ {
+			target := h
+			if fork {
+				target = h.Fork()
+			}
+			for s := 0; s < spansPerJob; s++ {
+				target.Span("t", "s", int64(j*100+s), int64(j*100+s+1))
+			}
+			if fork {
+				h.Adopt(target)
+			}
+		}
+		return h
+	}
+	seq := NewHub()
+	seq.SetTraceCap(capSpans)
+	fill(seq, 3, 3, false)
+	par := NewHub()
+	par.SetTraceCap(capSpans)
+	fill(par, 3, 3, true)
+
+	if got, want := len(par.Spans()), len(seq.Spans()); got != want {
+		t.Fatalf("kept spans = %d, want %d", got, want)
+	}
+	for i, s := range par.Spans() {
+		if s != seq.Spans()[i] {
+			t.Errorf("span %d = %+v, want %+v", i, s, seq.Spans()[i])
+		}
+	}
+	if got, want := par.TraceDropped(), seq.TraceDropped(); got != want {
+		t.Errorf("dropped = %d, want %d", got, want)
+	}
+	if seq.TraceDropped() == 0 {
+		t.Error("test workload did not overflow the span buffer")
+	}
+}
+
+func TestForkAdoptNil(t *testing.T) {
+	var nilHub *Hub
+	if nilHub.Fork() != nil {
+		t.Error("Fork of nil hub is not nil")
+	}
+	nilHub.Adopt(NewHub()) // must not panic
+	h := NewHub()
+	h.Adopt(nil)
+	h.Adopt(h)
+	if h.Metrics() != 0 {
+		t.Error("self/nil adopt changed the hub")
+	}
+}
+
+func TestForkInheritsPrefix(t *testing.T) {
+	h := NewHub()
+	child := h.Sub("sweep").Fork()
+	child.Counter("runs", func() int64 { return 1 })
+	h.Adopt(child)
+	if got := h.SnapshotUnder("sweep"); len(got) != 1 || got[0].Name != "sweep/runs" {
+		t.Errorf("adopted metric = %+v, want one sweep/runs", got)
+	}
+}

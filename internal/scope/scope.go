@@ -53,7 +53,8 @@ func (k Kind) String() string {
 }
 
 type metric struct {
-	name string
+	name string // final name, uniquified against the owning state
+	base string // prefix-joined name before uniquification, for Adopt replay
 	kind Kind
 	read func() int64
 }
@@ -113,13 +114,53 @@ func (h *Hub) join(name string) string {
 // ("x", "x#2", "x#3", ...) so two runtimes on one machine cannot clobber
 // each other's registrations.
 func (h *Hub) register(name string, kind Kind, read func() int64) {
-	full := h.join(name)
-	n := h.st.taken[full]
-	h.st.taken[full] = n + 1
+	h.st.add(metric{base: h.join(name), kind: kind, read: read})
+}
+
+// add uniquifies m's base name against this state's taken map and appends
+// the metric. Registration and Adopt replay share it, so a forked child's
+// metrics land under exactly the names a sequential run would have used.
+func (st *state) add(m metric) {
+	n := st.taken[m.base]
+	st.taken[m.base] = n + 1
+	m.name = m.base
 	if n > 0 {
-		full = fmt.Sprintf("%s#%d", full, n+1)
+		m.name = fmt.Sprintf("%s#%d", m.base, n+1)
 	}
-	h.st.metrics = append(h.st.metrics, metric{name: full, kind: kind, read: read})
+	st.metrics = append(st.metrics, m)
+}
+
+// Fork returns a detached hub with the same prefix and trace capacity but
+// private state, for handing to a worker goroutine: nothing posted to the
+// child is visible to h (or vice versa) until Adopt merges it back.
+// Fork of a nil hub is nil.
+func (h *Hub) Fork() *Hub {
+	if h == nil {
+		return nil
+	}
+	return &Hub{prefix: h.prefix, st: &state{taken: map[string]int{}, spanCap: h.st.spanCap}}
+}
+
+// Adopt merges a forked child back into h: metric registrations replay
+// through h's uniquification (via their base names), spans append under
+// h's capacity with drop accounting, and attribution contributors carry
+// over. Adopting children in the order their jobs were submitted
+// reproduces the sequential run's artifacts byte for byte: names, span
+// order, and the dropped-event count all match, because a child inherits
+// the parent's capacity and drops are additive. Adopt of or onto nil is a
+// no-op.
+func (h *Hub) Adopt(child *Hub) {
+	if h == nil || child == nil || h.st == child.st {
+		return
+	}
+	for _, m := range child.st.metrics {
+		h.st.add(metric{base: m.base, kind: m.kind, read: m.read})
+	}
+	for _, s := range child.st.spans {
+		h.add(s)
+	}
+	h.st.dropped += child.st.dropped
+	h.st.attribs = append(h.st.attribs, child.st.attribs...)
 }
 
 // Counter publishes a monotonic count read on demand through read. The

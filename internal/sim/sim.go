@@ -10,6 +10,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"strings"
 )
 
 // Component is a piece of simulated hardware advanced once per cycle.
@@ -28,22 +29,64 @@ type Idler interface {
 	Idle() bool
 }
 
+// Sleeper is implemented by components whose Tick is a guaranteed no-op
+// until a known future cycle. When every registered component implements
+// Sleeper, the engine fast-forwards the clock to the earliest reported
+// wakeup instead of executing the intervening no-op ticks; the observable
+// schedule of effective ticks is unchanged, so runs stay cycle-identical.
+// Registering only Sleeper components also asserts that any RunUntil
+// predicate driving the engine depends on component state alone (never on
+// the raw cycle count), since predicates are not re-evaluated on skipped
+// cycles.
+type Sleeper interface {
+	// NextWakeup returns the earliest cycle ≥ now at which Tick may have
+	// an effect. Returning now declines fast-forwarding for this cycle.
+	NextWakeup(now int64) int64
+}
+
 // Engine drives a set of components with a shared clock.
 type Engine struct {
 	components []Component
-	cycle      int64
+	// idlers caches the components implementing Idler at Register time, so
+	// the idle scan does no per-cycle type assertions and IdleCount and
+	// RunUntilIdle can never disagree about who is quiescent.
+	idlers []namedIdler
+	// sleepers caches the components implementing Sleeper; fast-forwarding
+	// requires every component to appear here.
+	sleepers []Sleeper
+	cycle    int64
+	skipped  int64
+}
+
+type namedIdler struct {
+	c Component
+	i Idler
 }
 
 // ErrCycleLimit is returned by RunUntil and RunUntilIdle when the predicate
-// does not become true within the cycle budget.
+// does not become true within the cycle budget. The error text names the
+// components still reporting busy, so stalls are diagnosable.
 var ErrCycleLimit = errors.New("sim: cycle limit exceeded")
+
+// ErrNonPositiveLimit is returned by RunUntil and RunUntilIdle when the
+// cycle budget is zero or negative: such a budget is a caller bug, not a
+// run that legitimately ran out of cycles, and no component is ticked.
+var ErrNonPositiveLimit = errors.New("sim: non-positive cycle limit")
 
 // New returns an empty engine at cycle 0.
 func New() *Engine { return &Engine{} }
 
 // Register appends components to the tick order.
 func (e *Engine) Register(cs ...Component) {
-	e.components = append(e.components, cs...)
+	for _, c := range cs {
+		e.components = append(e.components, c)
+		if id, ok := c.(Idler); ok {
+			e.idlers = append(e.idlers, namedIdler{c: c, i: id})
+		}
+		if sl, ok := c.(Sleeper); ok {
+			e.sleepers = append(e.sleepers, sl)
+		}
+	}
 }
 
 // Cycle returns the number of cycles executed so far.
@@ -52,17 +95,58 @@ func (e *Engine) Cycle() int64 { return e.cycle }
 // Components returns the number of registered components.
 func (e *Engine) Components() int { return len(e.components) }
 
+// FastForwarded returns the number of no-op cycles the engine skipped via
+// the Sleeper fast-forward path.
+func (e *Engine) FastForwarded() int64 { return e.skipped }
+
+// allIdle is the termination predicate of RunUntilIdle: every registered
+// component that implements Idler reports Idle.
+func (e *Engine) allIdle() bool {
+	for _, x := range e.idlers {
+		if !x.i.Idle() {
+			return false
+		}
+	}
+	return true
+}
+
 // IdleCount returns how many registered components currently report Idle;
 // components that do not implement Idler count as idle. It is a liveness
-// gauge for the observability hub.
+// gauge for the observability hub, and shares its scan with RunUntilIdle.
 func (e *Engine) IdleCount() int {
-	n := 0
-	for _, c := range e.components {
-		if id, ok := c.(Idler); !ok || id.Idle() {
-			n++
+	n := len(e.components)
+	for _, x := range e.idlers {
+		if !x.i.Idle() {
+			n--
 		}
 	}
 	return n
+}
+
+// busyNameCap bounds how many component names a cycle-limit error carries.
+const busyNameCap = 8
+
+// busyNames lists the components still reporting busy, for diagnostics.
+func (e *Engine) busyNames() []string {
+	var names []string
+	for _, x := range e.idlers {
+		if !x.i.Idle() {
+			if len(names) == busyNameCap {
+				names = append(names, "...")
+				break
+			}
+			names = append(names, x.c.Name())
+		}
+	}
+	return names
+}
+
+func (e *Engine) limitErr(limit int64) error {
+	if busy := e.busyNames(); len(busy) > 0 {
+		return fmt.Errorf("%w after %d cycles (busy: %s)",
+			ErrCycleLimit, limit, strings.Join(busy, ", "))
+	}
+	return fmt.Errorf("%w after %d cycles", ErrCycleLimit, limit)
 }
 
 // Step executes exactly one cycle.
@@ -80,31 +164,57 @@ func (e *Engine) Run(n int64) {
 	}
 }
 
+// fastForward skips the clock to the earliest component wakeup when every
+// registered component implements Sleeper and reports one strictly in the
+// future, clamped to deadline so limit accounting matches a stepped run.
+// It reports whether any cycles were skipped.
+func (e *Engine) fastForward(deadline int64) bool {
+	if len(e.sleepers) == 0 || len(e.sleepers) != len(e.components) {
+		return false
+	}
+	wake := deadline
+	for _, s := range e.sleepers {
+		w := s.NextWakeup(e.cycle)
+		if w <= e.cycle {
+			return false
+		}
+		if w < wake {
+			wake = w
+		}
+	}
+	if wake <= e.cycle {
+		return false
+	}
+	e.skipped += wake - e.cycle
+	e.cycle = wake
+	return true
+}
+
 // RunUntil steps until done() is true, checking after every cycle. It
-// returns ErrCycleLimit if more than limit cycles elapse first.
+// returns ErrNonPositiveLimit without stepping when limit ≤ 0, and
+// ErrCycleLimit (naming the still-busy components) if more than limit
+// cycles elapse before done() holds.
 func (e *Engine) RunUntil(done func() bool, limit int64) error {
+	if limit <= 0 {
+		return fmt.Errorf("%w: %d", ErrNonPositiveLimit, limit)
+	}
 	start := e.cycle
 	for !done() {
 		if e.cycle-start >= limit {
-			return fmt.Errorf("%w after %d cycles", ErrCycleLimit, limit)
+			return e.limitErr(limit)
 		}
-		e.Step()
+		if !e.fastForward(start + limit) {
+			e.Step()
+		}
 	}
 	return nil
 }
 
 // RunUntilIdle steps until every registered component that implements Idler
-// reports Idle, checking after every cycle. It returns ErrCycleLimit if more
-// than limit cycles elapse first.
+// reports Idle, checking after every cycle. It shares RunUntil's limit
+// semantics and the IdleCount idle scan.
 func (e *Engine) RunUntilIdle(limit int64) error {
-	return e.RunUntil(func() bool {
-		for _, c := range e.components {
-			if id, ok := c.(Idler); ok && !id.Idle() {
-				return false
-			}
-		}
-		return true
-	}, limit)
+	return e.RunUntil(e.allIdle, limit)
 }
 
 // Func adapts a function to the Component interface, for tests and small

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"errors"
+	"strings"
 	"testing"
 )
 
@@ -106,5 +107,161 @@ func TestComponentsCount(t *testing.T) {
 	e.Register(Func{ID: "x", F: func(int64) {}})
 	if e.Components() != 1 {
 		t.Errorf("Components() = %d, want 1", e.Components())
+	}
+}
+
+func TestRunUntilNonPositiveLimit(t *testing.T) {
+	for _, limit := range []int64{0, -1, -100} {
+		e := New()
+		ticked := false
+		e.Register(Func{ID: "x", F: func(int64) { ticked = true }})
+		err := e.RunUntil(func() bool { return true }, limit)
+		if !errors.Is(err, ErrNonPositiveLimit) {
+			t.Fatalf("limit %d: err = %v, want ErrNonPositiveLimit", limit, err)
+		}
+		if errors.Is(err, ErrCycleLimit) {
+			t.Errorf("limit %d: non-positive limit must be distinct from ErrCycleLimit", limit)
+		}
+		if ticked || e.Cycle() != 0 {
+			t.Errorf("limit %d: engine stepped (cycle %d) on a rejected limit", limit, e.Cycle())
+		}
+	}
+}
+
+func TestRunUntilIdleNonPositiveLimit(t *testing.T) {
+	e := New()
+	e.Register(&idleAfter{n: 5})
+	if err := e.RunUntilIdle(0); !errors.Is(err, ErrNonPositiveLimit) {
+		t.Fatalf("err = %v, want ErrNonPositiveLimit", err)
+	}
+	if e.Cycle() != 0 {
+		t.Errorf("cycle = %d, want 0 (no stepping on rejected limit)", e.Cycle())
+	}
+}
+
+func TestCycleLimitNamesBusyComponents(t *testing.T) {
+	e := New()
+	e.Register(&idleAfter{n: 1 << 40}, Func{ID: "glue", F: func(int64) {}})
+	err := e.RunUntilIdle(5)
+	if !errors.Is(err, ErrCycleLimit) {
+		t.Fatalf("err = %v, want ErrCycleLimit", err)
+	}
+	if !strings.Contains(err.Error(), "idleAfter") {
+		t.Errorf("cycle-limit error %q does not name the busy component", err)
+	}
+	if strings.Contains(err.Error(), "glue") {
+		t.Errorf("cycle-limit error %q names a non-Idler component as busy", err)
+	}
+}
+
+func TestIdleCountSharesScanWithRunUntilIdle(t *testing.T) {
+	e := New()
+	busy := &idleAfter{n: 3}
+	e.Register(busy, Func{ID: "glue", F: func(int64) {}})
+	// Non-Idler components count as idle; the Idler is initially busy.
+	if got := e.IdleCount(); got != 1 {
+		t.Fatalf("IdleCount before run = %d, want 1", got)
+	}
+	if err := e.RunUntilIdle(100); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.IdleCount(); got != e.Components() {
+		t.Errorf("IdleCount after RunUntilIdle = %d, want %d (the same scan must agree)",
+			got, e.Components())
+	}
+}
+
+// periodic is a Sleeper: it does work only on multiples of period, and is
+// idle once it has recorded enough effective ticks.
+type periodic struct {
+	id     string
+	period int64
+	want   int
+	ticks  []int64
+}
+
+func (p *periodic) Name() string { return p.id }
+func (p *periodic) Tick(cycle int64) {
+	if cycle%p.period == 0 {
+		p.ticks = append(p.ticks, cycle)
+	}
+}
+func (p *periodic) Idle() bool { return len(p.ticks) >= p.want }
+func (p *periodic) NextWakeup(now int64) int64 {
+	if now%p.period == 0 {
+		return now
+	}
+	return now - now%p.period + p.period
+}
+
+// hidden wraps a periodic, hiding its Sleeper implementation so the same
+// workload can run with fast-forwarding disabled.
+type hidden struct{ p *periodic }
+
+func (h hidden) Name() string     { return h.p.Name() }
+func (h hidden) Tick(cycle int64) { h.p.Tick(cycle) }
+func (h hidden) Idle() bool       { return h.p.Idle() }
+
+func TestFastForwardMatchesSteppedRun(t *testing.T) {
+	run := func(fastForward bool) (*periodic, *periodic, *Engine) {
+		a := &periodic{id: "a", period: 10, want: 4}
+		b := &periodic{id: "b", period: 15, want: 3}
+		e := New()
+		if fastForward {
+			e.Register(a, b)
+		} else {
+			e.Register(hidden{a}, hidden{b})
+		}
+		if err := e.RunUntilIdle(1000); err != nil {
+			t.Fatal(err)
+		}
+		return a, b, e
+	}
+	fa, fb, fe := run(true)
+	sa, sb, se := run(false)
+	if fe.FastForwarded() == 0 {
+		t.Error("all-Sleeper engine skipped no cycles")
+	}
+	if se.FastForwarded() != 0 {
+		t.Error("non-Sleeper engine fast-forwarded")
+	}
+	if fe.Cycle() != se.Cycle() {
+		t.Errorf("fast-forwarded run ended at cycle %d, stepped run at %d", fe.Cycle(), se.Cycle())
+	}
+	for _, pair := range [][2]*periodic{{fa, sa}, {fb, sb}} {
+		f, s := pair[0], pair[1]
+		if len(f.ticks) != len(s.ticks) {
+			t.Fatalf("%s: %d effective ticks fast-forwarded vs %d stepped", f.id, len(f.ticks), len(s.ticks))
+		}
+		for i := range f.ticks {
+			if f.ticks[i] != s.ticks[i] {
+				t.Errorf("%s tick %d at cycle %d, stepped run at %d", f.id, i, f.ticks[i], s.ticks[i])
+			}
+		}
+	}
+}
+
+func TestFastForwardRequiresEveryComponent(t *testing.T) {
+	a := &periodic{id: "a", period: 10, want: 2}
+	e := New()
+	e.Register(a, Func{ID: "plain", F: func(int64) {}})
+	if err := e.RunUntilIdle(100); err != nil {
+		t.Fatal(err)
+	}
+	if e.FastForwarded() != 0 {
+		t.Errorf("engine with a non-Sleeper component skipped %d cycles", e.FastForwarded())
+	}
+}
+
+func TestFastForwardRespectsLimit(t *testing.T) {
+	a := &periodic{id: "a", period: 1 << 30, want: 2}
+	e := New()
+	e.Register(a)
+	err := e.RunUntilIdle(50)
+	if !errors.Is(err, ErrCycleLimit) {
+		t.Fatalf("err = %v, want ErrCycleLimit", err)
+	}
+	if e.Cycle() != 50 {
+		t.Errorf("cycle = %d, want 50 (fast-forward must clamp to the limit)", e.Cycle())
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"cedar/internal/ce"
 	"cedar/internal/cfrt"
 	"cedar/internal/core"
+	"cedar/internal/fleet"
 	"cedar/internal/kernels"
 	"cedar/internal/params"
 	"cedar/internal/scope"
@@ -37,26 +38,33 @@ func RunNetworkAblation(n int, obs ...*scope.Hub) ([]NetworkAblationRow, error) 
 		{"omega 8-word queues", "omega-8w", core.Options{Fabric: core.FabricOmega, QueueWords: 8}},
 		{"ideal crossbar", "crossbar", core.Options{Fabric: core.FabricCrossbar}},
 	}
-	var rows []NetworkAblationRow
-	for _, cfg := range configs {
-		opt := cfg.opt
-		opt.Scope = hub.Sub("net/" + cfg.key)
-		m, err := core.New(params.Default(), opt)
-		if err != nil {
-			return nil, err
+	jobs := make([]fleet.Job[NetworkAblationRow], len(configs))
+	for i, cfg := range configs {
+		jobs[i] = fleet.Job[NetworkAblationRow]{
+			// cfg.key uniquely identifies the fabric and queue depth, so it
+			// stands in for the (pointer-bearing) core.Options in the key.
+			Key: fleet.Key("netablation", params.Default(), cfg.key, n),
+			Run: func(h *scope.Hub) (NetworkAblationRow, error) {
+				opt := cfg.opt
+				opt.Scope = h.Sub("net/" + cfg.key)
+				m, err := core.New(params.Default(), opt)
+				if err != nil {
+					return NetworkAblationRow{}, err
+				}
+				out, err := kernels.RankUpdate(m, n, kernels.RKPref)
+				if err != nil {
+					return NetworkAblationRow{}, fmt.Errorf("ablation %s: %w", cfg.name, err)
+				}
+				return NetworkAblationRow{
+					Config:  cfg.name,
+					MFLOPS:  out.MFLOPS,
+					Latency: out.Blocks.MeanLatency(),
+					Inter:   out.Blocks.MeanInterarrival(),
+				}, nil
+			},
 		}
-		out, err := kernels.RankUpdate(m, n, kernels.RKPref)
-		if err != nil {
-			return nil, fmt.Errorf("ablation %s: %w", cfg.name, err)
-		}
-		rows = append(rows, NetworkAblationRow{
-			Config:  cfg.name,
-			MFLOPS:  out.MFLOPS,
-			Latency: out.Blocks.MeanLatency(),
-			Inter:   out.Blocks.MeanInterarrival(),
-		})
 	}
-	return rows, nil
+	return fleet.Run(fleet.Config{Hub: hub}, jobs)
 }
 
 // FormatNetworkAblation renders the ablation.
@@ -89,34 +97,40 @@ func RunPrefetchBlockAblation(n int, obs ...*scope.Hub) ([]PrefetchBlockRow, err
 	hub := scope.Of(obs)
 	p := params.Default()
 	p.Clusters = 1
-	var rows []PrefetchBlockRow
-	for _, block := range []int{0, 32, 128, 256, 512} {
-		m, err := core.New(p, core.Options{
-			Scope: hub.Sub(fmt.Sprintf("prefblock/%d", block)),
-		})
-		if err != nil {
-			return nil, err
-		}
-		aBase := m.AllocGlobalAligned(n*64, 64)
-		body := func(j int) []*ce.Instr {
-			ins := make([]*ce.Instr, 0, 64)
-			for k := 0; k < 64; k++ {
-				ins = append(ins, &ce.Instr{
-					Op: ce.OpVector, N: n, Flops: 2,
-					Srcs: []ce.Stream{{Space: ce.SpaceGlobal, Base: aBase + uint64(k*n), Stride: 1, PrefBlock: block}},
+	blocks := []int{0, 32, 128, 256, 512}
+	jobs := make([]fleet.Job[PrefetchBlockRow], len(blocks))
+	for i, block := range blocks {
+		jobs[i] = fleet.Job[PrefetchBlockRow]{
+			Key: fleet.Key("prefblock", p, block, n),
+			Run: func(h *scope.Hub) (PrefetchBlockRow, error) {
+				m, err := core.New(p, core.Options{
+					Scope: h.Sub(fmt.Sprintf("prefblock/%d", block)),
 				})
-			}
-			return ins
+				if err != nil {
+					return PrefetchBlockRow{}, err
+				}
+				aBase := m.AllocGlobalAligned(n*64, 64)
+				body := func(j int) []*ce.Instr {
+					ins := make([]*ce.Instr, 0, 64)
+					for k := 0; k < 64; k++ {
+						ins = append(ins, &ce.Instr{
+							Op: ce.OpVector, N: n, Flops: 2,
+							Srcs: []ce.Stream{{Space: ce.SpaceGlobal, Base: aBase + uint64(k*n), Stride: 1, PrefBlock: block}},
+						})
+					}
+					return ins
+				}
+				rt := cfrt.New(m, cfrt.Config{UseCedarSync: true},
+					cfrt.XDoall{N: n / 8, Static: true, Body: body})
+				res, err := rt.Run(1 << 40)
+				if err != nil {
+					return PrefetchBlockRow{}, fmt.Errorf("prefetch block %d: %w", block, err)
+				}
+				return PrefetchBlockRow{Block: block, MFLOPS: res.MFLOPS}, nil
+			},
 		}
-		rt := cfrt.New(m, cfrt.Config{UseCedarSync: true},
-			cfrt.XDoall{N: n / 8, Static: true, Body: body})
-		res, err := rt.Run(1 << 40)
-		if err != nil {
-			return nil, fmt.Errorf("prefetch block %d: %w", block, err)
-		}
-		rows = append(rows, PrefetchBlockRow{Block: block, MFLOPS: res.MFLOPS})
 	}
-	return rows, nil
+	return fleet.Run(fleet.Config{Hub: hub}, jobs)
 }
 
 // FormatPrefetchBlock renders the block-size ablation.
@@ -147,32 +161,53 @@ type ScaledRow struct {
 // clusters with a proportionally larger network and memory system.
 func RunScaledCedar(n int, obs ...*scope.Hub) ([]ScaledRow, error) {
 	hub := scope.Of(obs)
+	clusterCounts := []int{4, 8}
+	// The RK and CG runs of one machine size are themselves independent
+	// simulations, so each (size, kernel) pair is its own pool job.
+	type point struct {
+		clusters int
+		kernel   string
+	}
+	var points []point
+	for _, clusters := range clusterCounts {
+		points = append(points, point{clusters, "rk"}, point{clusters, "cg"})
+	}
+	jobs := make([]fleet.Job[float64], len(points))
+	for i, pt := range points {
+		pm := params.Scaled(pt.clusters)
+		jobs[i] = fleet.Job[float64]{
+			Key: fleet.Key("scaled", pm, pt.kernel, n),
+			Run: func(h *scope.Hub) (float64, error) {
+				m, err := core.New(pm, core.Options{
+					Scope: h.Sub(fmt.Sprintf("scaled/%dcl/%s", pt.clusters, pt.kernel)),
+				})
+				if err != nil {
+					return 0, err
+				}
+				if pt.kernel == "rk" {
+					out, err := kernels.RankUpdate(m, n, kernels.RKPref)
+					if err != nil {
+						return 0, fmt.Errorf("scaled RK %d clusters: %w", pt.clusters, err)
+					}
+					return out.MFLOPS, nil
+				}
+				out, err := kernels.CG(m, kernels.CGConfig{N: 32 << 10, Iters: 2})
+				if err != nil {
+					return 0, fmt.Errorf("scaled CG %d clusters: %w", pt.clusters, err)
+				}
+				return out.MFLOPS, nil
+			},
+		}
+	}
+	outs, err := fleet.Run(fleet.Config{Hub: hub}, jobs)
+	if err != nil {
+		return nil, err
+	}
 	var rows []ScaledRow
-	for _, clusters := range []int{4, 8} {
-		pm := params.Scaled(clusters)
-		m, err := core.New(pm, core.Options{
-			Scope: hub.Sub(fmt.Sprintf("scaled/%dcl/rk", clusters)),
-		})
-		if err != nil {
-			return nil, err
-		}
-		rk, err := kernels.RankUpdate(m, n, kernels.RKPref)
-		if err != nil {
-			return nil, fmt.Errorf("scaled RK %d clusters: %w", clusters, err)
-		}
-		m2, err := core.New(pm, core.Options{
-			Scope: hub.Sub(fmt.Sprintf("scaled/%dcl/cg", clusters)),
-		})
-		if err != nil {
-			return nil, err
-		}
-		cg, err := kernels.CG(m2, kernels.CGConfig{N: 32 << 10, Iters: 2})
-		if err != nil {
-			return nil, fmt.Errorf("scaled CG %d clusters: %w", clusters, err)
-		}
+	for i, clusters := range clusterCounts {
 		rows = append(rows, ScaledRow{
-			Clusters: clusters, CEs: pm.CEs(),
-			RKMFLOPS: rk.MFLOPS, CGMFLOPS: cg.MFLOPS,
+			Clusters: clusters, CEs: params.Scaled(clusters).CEs(),
+			RKMFLOPS: outs[2*i], CGMFLOPS: outs[2*i+1],
 		})
 	}
 	return rows, nil

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"cedar/internal/core"
+	"cedar/internal/fleet"
 	"cedar/internal/kernels"
 	"cedar/internal/params"
 	"cedar/internal/scope"
@@ -24,23 +25,40 @@ type MemBWResult struct {
 func RunMemBW(wordsPerCE int, obs ...*scope.Hub) (*MemBWResult, error) {
 	hub := scope.Of(obs)
 	p := params.Default()
-	res := &MemBWResult{}
+	type point struct {
+		nCE    int
+		stride int64
+	}
+	var points []point
 	for _, nCE := range []int{1, 2, 4, 8, 16, 32} {
 		for _, stride := range []int64{1, 2, int64(p.MemModules)} {
-			m, err := core.New(p, core.Options{
-				Scope: hub.Sub(fmt.Sprintf("membw/%dce/stride%d", nCE, stride)),
-			})
-			if err != nil {
-				return nil, err
-			}
-			pt, err := kernels.MemBW(m, nCE, stride, wordsPerCE)
-			if err != nil {
-				return nil, fmt.Errorf("membw nCE=%d stride=%d: %w", nCE, stride, err)
-			}
-			res.Points = append(res.Points, pt)
+			points = append(points, point{nCE: nCE, stride: stride})
 		}
 	}
-	return res, nil
+	jobs := make([]fleet.Job[kernels.MemBWPoint], len(points))
+	for i, pt := range points {
+		jobs[i] = fleet.Job[kernels.MemBWPoint]{
+			Key: fleet.Key("membw", p, pt.nCE, pt.stride, wordsPerCE),
+			Run: func(h *scope.Hub) (kernels.MemBWPoint, error) {
+				m, err := core.New(p, core.Options{
+					Scope: h.Sub(fmt.Sprintf("membw/%dce/stride%d", pt.nCE, pt.stride)),
+				})
+				if err != nil {
+					return kernels.MemBWPoint{}, err
+				}
+				out, err := kernels.MemBW(m, pt.nCE, pt.stride, wordsPerCE)
+				if err != nil {
+					return kernels.MemBWPoint{}, fmt.Errorf("membw nCE=%d stride=%d: %w", pt.nCE, pt.stride, err)
+				}
+				return out, nil
+			},
+		}
+	}
+	outs, err := fleet.Run(fleet.Config{Hub: hub}, jobs)
+	if err != nil {
+		return nil, err
+	}
+	return &MemBWResult{Points: outs}, nil
 }
 
 // PeakMBps returns the best observed aggregate bandwidth.

@@ -6,6 +6,7 @@ import (
 	"cedar/internal/ce"
 	"cedar/internal/cfrt"
 	"cedar/internal/core"
+	"cedar/internal/fleet"
 	"cedar/internal/params"
 	"cedar/internal/scope"
 )
@@ -22,45 +23,61 @@ type OverheadsResult struct {
 	CDoallStartUS    float64
 }
 
-// RunOverheads performs the microbenchmarks.
+// RunOverheads performs the microbenchmarks. The five machine runs are
+// independent; they dispatch as pool jobs and the derived quantities are
+// computed from the reassembled times.
 func RunOverheads(obs ...*scope.Hub) (*OverheadsResult, error) {
 	hub := scope.Of(obs)
-	res := &OverheadsResult{}
-
-	// XDOALL startup: cycles from loop entry until the first iteration
-	// body executes (the paper's "typical loop startup latency").
-	t1, err := timeToFirstIteration(hub.Sub("overheads/startup"))
-	if err != nil {
-		return nil, err
-	}
-	res.XDoallStartupUS = t1 * 1e6
-
-	// Iteration fetch: the marginal cost per iteration of an empty loop,
-	// measured on one CE to avoid overlap (iterations - 1 extra fetches).
+	pm := params.Default()
 	const iters = 64
-	tMany, err := timeXDoallOneCE(iters, false, hub.Sub(fmt.Sprintf("overheads/fetch-lib-%d", iters)))
+	jobs := []fleet.Job[float64]{
+		// XDOALL startup: cycles from loop entry until the first iteration
+		// body executes (the paper's "typical loop startup latency").
+		{
+			Key: fleet.Key("overheads/startup", pm),
+			Run: func(h *scope.Hub) (float64, error) {
+				return timeToFirstIteration(h.Sub("overheads/startup"))
+			},
+		},
+		// Iteration fetch: the marginal cost per iteration of an empty
+		// loop, measured on one CE to avoid overlap (iterations - 1 extra
+		// fetches), with and without Cedar synchronization.
+		{
+			Key: fleet.Key("overheads/fetch", pm, iters, false),
+			Run: func(h *scope.Hub) (float64, error) {
+				return timeXDoallOneCE(iters, false, h.Sub(fmt.Sprintf("overheads/fetch-lib-%d", iters)))
+			},
+		},
+		{
+			Key: fleet.Key("overheads/fetch", pm, 1, false),
+			Run: func(h *scope.Hub) (float64, error) {
+				return timeXDoallOneCE(1, false, h.Sub("overheads/fetch-lib-1"))
+			},
+		},
+		{
+			Key: fleet.Key("overheads/fetch", pm, iters, true),
+			Run: func(h *scope.Hub) (float64, error) {
+				return timeXDoallOneCE(iters, true, h.Sub(fmt.Sprintf("overheads/fetch-sync-%d", iters)))
+			},
+		},
+		{
+			Key: fleet.Key("overheads/fetch", pm, 1, true),
+			Run: func(h *scope.Hub) (float64, error) {
+				return timeXDoallOneCE(1, true, h.Sub("overheads/fetch-sync-1"))
+			},
+		},
+	}
+	t, err := fleet.Run(fleet.Config{Hub: hub}, jobs)
 	if err != nil {
 		return nil, err
 	}
-	tOne, err := timeXDoallOneCE(1, false, hub.Sub("overheads/fetch-lib-1"))
-	if err != nil {
-		return nil, err
-	}
-	res.FetchNoSyncUS = (tMany - tOne) / float64(iters-1) * 1e6
-
-	tManyS, err := timeXDoallOneCE(iters, true, hub.Sub(fmt.Sprintf("overheads/fetch-sync-%d", iters)))
-	if err != nil {
-		return nil, err
-	}
-	tOneS, err := timeXDoallOneCE(1, true, hub.Sub("overheads/fetch-sync-1"))
-	if err != nil {
-		return nil, err
-	}
-	res.FetchCedarSyncUS = (tManyS - tOneS) / float64(iters-1) * 1e6
-
-	// CDOALL start: booked cost of the concurrent-start broadcast.
-	res.CDoallStartUS = float64(params.Default().CDoallStart) * params.CycleNS / 1e3
-	return res, nil
+	return &OverheadsResult{
+		XDoallStartupUS:  t[0] * 1e6,
+		FetchNoSyncUS:    (t[1] - t[2]) / float64(iters-1) * 1e6,
+		FetchCedarSyncUS: (t[3] - t[4]) / float64(iters-1) * 1e6,
+		// CDOALL start: booked cost of the concurrent-start broadcast.
+		CDoallStartUS: float64(pm.CDoallStart) * params.CycleNS / 1e3,
+	}, nil
 }
 
 func emptyBody(int) []*ce.Instr {

@@ -5,6 +5,7 @@ import (
 
 	"cedar/internal/comparator"
 	"cedar/internal/core"
+	"cedar/internal/fleet"
 	"cedar/internal/kernels"
 	"cedar/internal/params"
 	"cedar/internal/ppt"
@@ -50,57 +51,117 @@ func RunPPT4(full bool, obs ...*scope.Hub) (*PPT4Result, error) {
 	}
 	ps := []int{2, 4, 8, 16, 32}
 	res := &PPT4Result{CM5: map[int][]PPT4Point{}, CedarBanded: map[int][]PPT4Point{}}
+	pm := params.Default()
 
 	// Per-processor-count baselines come from the 2-CE run scaled down;
-	// the efficiency baseline is a single CE running the same kernel.
+	// the efficiency baseline is a single CE running the same kernel. The
+	// baseline and sweep runs are all independent simulations, so every
+	// (n, p) pair — p = 1 baselines included — is one pool job, and the
+	// efficiencies are derived after reassembly.
+	type cgPoint struct{ n, p int }
+	var cgPoints []cgPoint
 	for _, n := range ns {
-		base, err := runCG(n, 1, hub)
-		if err != nil {
-			return nil, err
-		}
+		cgPoints = append(cgPoints, cgPoint{n, 1})
 		for _, p := range ps {
-			out, err := runCG(n, p, hub)
-			if err != nil {
-				return nil, err
-			}
+			cgPoints = append(cgPoints, cgPoint{n, p})
+		}
+	}
+	cgJobs := make([]fleet.Job[core.Result], len(cgPoints))
+	for i, pt := range cgPoints {
+		cgJobs[i] = fleet.Job[core.Result]{
+			Key: fleet.Key("ppt4/cg", pm, pt.n, pt.p, ppt4Iters),
+			Run: func(h *scope.Hub) (core.Result, error) {
+				return runCG(pt.n, pt.p, h)
+			},
+		}
+	}
+	cgOuts, err := fleet.Run(fleet.Config{Hub: hub}, cgJobs)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for range ns {
+		base := cgOuts[i]
+		i++
+		for _, p := range ps {
+			out := cgOuts[i]
+			pt := cgPoints[i]
+			i++
 			eff := ppt.Efficiency(base.Seconds/out.Seconds, p)
 			res.Cedar = append(res.Cedar, PPT4Point{
-				P: p, N: n, MFLOPS: out.MFLOPS, Eff: eff,
+				P: p, N: pt.n, MFLOPS: out.MFLOPS, Eff: eff,
 				Band: ppt.BandOfEfficiency(eff, p),
 			})
 		}
 	}
 
 	// Banded matvec on Cedar itself, 32 CEs, the CM-5 problem range.
+	type bandedPoint struct{ bw, n int }
+	var bandedPoints []bandedPoint
 	for _, bw := range []int{3, 11} {
 		for _, n := range []int{16 << 10, 64 << 10} {
-			m, err := core.New(params.Default(), core.Options{
-				Scope: hub.Sub(fmt.Sprintf("ppt4/banded/bw%d/n%d", bw, n)),
-			})
-			if err != nil {
-				return nil, err
-			}
-			out, err := kernels.Banded(m, kernels.BandedConfig{N: n, BW: bw})
-			if err != nil {
-				return nil, fmt.Errorf("ppt4 banded n=%d bw=%d: %w", n, bw, err)
-			}
-			res.CedarBanded[bw] = append(res.CedarBanded[bw], PPT4Point{
-				P: 32, N: n, MFLOPS: out.MFLOPS,
-			})
+			bandedPoints = append(bandedPoints, bandedPoint{bw: bw, n: n})
 		}
 	}
+	bandedJobs := make([]fleet.Job[float64], len(bandedPoints))
+	for i, pt := range bandedPoints {
+		bandedJobs[i] = fleet.Job[float64]{
+			Key: fleet.Key("ppt4/banded", pm, pt.n, pt.bw),
+			Run: func(h *scope.Hub) (float64, error) {
+				m, err := core.New(pm, core.Options{
+					Scope: h.Sub(fmt.Sprintf("ppt4/banded/bw%d/n%d", pt.bw, pt.n)),
+				})
+				if err != nil {
+					return 0, err
+				}
+				out, err := kernels.Banded(m, kernels.BandedConfig{N: pt.n, BW: pt.bw})
+				if err != nil {
+					return 0, fmt.Errorf("ppt4 banded n=%d bw=%d: %w", pt.n, pt.bw, err)
+				}
+				return out.MFLOPS, nil
+			},
+		}
+	}
+	bandedOuts, err := fleet.Run(fleet.Config{Hub: hub}, bandedJobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, pt := range bandedPoints {
+		res.CedarBanded[pt.bw] = append(res.CedarBanded[pt.bw], PPT4Point{
+			P: 32, N: pt.n, MFLOPS: bandedOuts[i],
+		})
+	}
 
-	cm5 := comparator.NewCM5()
+	// The CM-5 comparator sweep: analytic, but still a set of independent
+	// machine evaluations, dispatched like the simulated ones (uncached —
+	// the evaluation is cheaper than a cache key).
+	type cm5Point struct{ bw, p, n int }
+	var cm5Points []cm5Point
 	for _, bw := range []int{3, 11} {
 		for _, p := range []int{32, 256, 512} {
 			for _, n := range []int{16 << 10, 64 << 10, 256 << 10} {
-				eff := cm5.BandedEfficiency(n, bw, p)
-				res.CM5[bw] = append(res.CM5[bw], PPT4Point{
-					P: p, N: n, MFLOPS: cm5.BandedMFLOPS(n, bw, p),
-					Eff: eff, Band: ppt.BandOfEfficiency(eff, p),
-				})
+				cm5Points = append(cm5Points, cm5Point{bw: bw, p: p, n: n})
 			}
 		}
+	}
+	cm5Jobs := make([]fleet.Job[PPT4Point], len(cm5Points))
+	for i, pt := range cm5Points {
+		cm5Jobs[i] = fleet.Job[PPT4Point]{
+			Run: func(*scope.Hub) (PPT4Point, error) {
+				mflops, eff := comparator.NewCM5().BandedPoint(pt.n, pt.bw, pt.p)
+				return PPT4Point{
+					P: pt.p, N: pt.n, MFLOPS: mflops,
+					Eff: eff, Band: ppt.BandOfEfficiency(eff, pt.p),
+				}, nil
+			},
+		}
+	}
+	cm5Outs, err := fleet.Run(fleet.Config{Hub: hub}, cm5Jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, pt := range cm5Points {
+		res.CM5[pt.bw] = append(res.CM5[pt.bw], cm5Outs[i])
 	}
 	return res, nil
 }

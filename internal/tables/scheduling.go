@@ -6,6 +6,7 @@ import (
 	"cedar/internal/ce"
 	"cedar/internal/cfrt"
 	"cedar/internal/core"
+	"cedar/internal/fleet"
 	"cedar/internal/params"
 	"cedar/internal/scope"
 )
@@ -44,7 +45,14 @@ func RunSchedulingAblation(obs ...*scope.Hub) ([]SchedulingRow, error) {
 		{"self", cfrt.SelfSchedule},
 		{"guided", cfrt.GuidedSchedule},
 	}
-	var rows []SchedulingRow
+	type point struct {
+		wlName  string
+		body    cfrt.BodyFn
+		polName string
+		sched   cfrt.Schedule
+		sync    bool
+	}
+	var points []point
 	for _, wl := range []struct {
 		name string
 		body cfrt.BodyFn
@@ -54,26 +62,40 @@ func RunSchedulingAblation(obs ...*scope.Hub) ([]SchedulingRow, error) {
 				if pol.sched == cfrt.StaticSchedule && !sync {
 					continue // static never claims; sync is irrelevant
 				}
-				m, err := core.New(params.Default(), core.Options{
-					Scope: hub.Sub(fmt.Sprintf("sched/%s/%s/sync=%v", wl.name, pol.name, sync)),
-				})
-				if err != nil {
-					return nil, err
-				}
-				rt := cfrt.New(m, cfrt.Config{UseCedarSync: sync},
-					cfrt.XDoall{N: 512, Sched: pol.sched, Body: wl.body})
-				res, err := rt.Run(1 << 40)
-				if err != nil {
-					return nil, fmt.Errorf("scheduling %s/%s: %w", pol.name, wl.name, err)
-				}
-				rows = append(rows, SchedulingRow{
-					Policy: pol.name, CedarSync: sync,
-					Workload: wl.name, Cycles: res.Cycles,
+				points = append(points, point{
+					wlName: wl.name, body: wl.body,
+					polName: pol.name, sched: pol.sched, sync: sync,
 				})
 			}
 		}
 	}
-	return rows, nil
+	jobs := make([]fleet.Job[SchedulingRow], len(points))
+	for i, pt := range points {
+		jobs[i] = fleet.Job[SchedulingRow]{
+			// The body closures are stateless, so workload name stands in
+			// for them in the key.
+			Key: fleet.Key("sched", params.Default(), pt.wlName, pt.polName, pt.sync),
+			Run: func(h *scope.Hub) (SchedulingRow, error) {
+				m, err := core.New(params.Default(), core.Options{
+					Scope: h.Sub(fmt.Sprintf("sched/%s/%s/sync=%v", pt.wlName, pt.polName, pt.sync)),
+				})
+				if err != nil {
+					return SchedulingRow{}, err
+				}
+				rt := cfrt.New(m, cfrt.Config{UseCedarSync: pt.sync},
+					cfrt.XDoall{N: 512, Sched: pt.sched, Body: pt.body})
+				res, err := rt.Run(1 << 40)
+				if err != nil {
+					return SchedulingRow{}, fmt.Errorf("scheduling %s/%s: %w", pt.polName, pt.wlName, err)
+				}
+				return SchedulingRow{
+					Policy: pt.polName, CedarSync: pt.sync,
+					Workload: pt.wlName, Cycles: res.Cycles,
+				}, nil
+			},
+		}
+	}
+	return fleet.Run(fleet.Config{Hub: hub}, jobs)
 }
 
 // FormatScheduling renders the ablation.

@@ -15,6 +15,7 @@ import (
 	"sort"
 	"strings"
 
+	"cedar/internal/fleet"
 	"cedar/internal/params"
 	"cedar/internal/perfect"
 	"cedar/internal/scope"
@@ -33,7 +34,10 @@ type SuiteResult struct {
 }
 
 // RunSuite executes all variants of the given Perfect codes (nil = full
-// suite). progress, if non-nil, receives one line per completed run.
+// suite). progress, if non-nil, receives one line per completed run, in
+// submission order. The (code × variant) points are independent whole
+// simulations, so they dispatch to the fleet worker pool; the maps are
+// filled from the reassembled results only, never from worker goroutines.
 func RunSuite(pm params.Machine, codes []perfect.Profile, progress io.Writer, obs ...*scope.Hub) (*SuiteResult, error) {
 	hub := scope.Of(obs)
 	if codes == nil {
@@ -49,12 +53,12 @@ func RunSuite(pm params.Machine, codes []perfect.Profile, progress io.Writer, ob
 		NoPref:   map[string]perfect.Outcome{},
 		Hand:     map[string]perfect.Outcome{},
 	}
-	type job struct {
+	type variant struct {
 		dst  map[string]perfect.Outcome
 		spec perfect.Spec
 		only bool // only for hand-optimized codes
 	}
-	jobs := []job{
+	variants := []variant{
 		{s.Serial, perfect.Spec{Variant: perfect.Serial}, false},
 		{s.KAP, perfect.Spec{Variant: perfect.KAP}, false},
 		{s.Auto, perfect.Spec{Variant: perfect.Auto}, false},
@@ -62,21 +66,43 @@ func RunSuite(pm params.Machine, codes []perfect.Profile, progress io.Writer, ob
 		{s.NoPref, perfect.Spec{Variant: perfect.Auto, NoSync: true, NoPref: true}, false},
 		{s.Hand, perfect.Spec{Variant: perfect.Hand}, true},
 	}
+	type point struct {
+		profile perfect.Profile
+		v       variant
+	}
+	var points []point
 	for _, p := range codes {
-		for _, j := range jobs {
-			if j.only && !hand[p.Name] {
+		for _, v := range variants {
+			if v.only && !hand[p.Name] {
 				continue
 			}
-			out, err := perfect.Run(pm, p, j.spec,
-				hub.Sub(fmt.Sprintf("perfect/%s/%s", p.Name, label(j.spec))))
-			if err != nil {
-				return nil, fmt.Errorf("tables: %s: %w", p.Name, err)
-			}
-			j.dst[p.Name] = out
-			if progress != nil {
-				fmt.Fprintf(progress, "  %-8s %-12v %8.1f s %7.2f MFLOPS\n",
-					p.Name, label(j.spec), out.Seconds, out.MFLOPS)
-			}
+			points = append(points, point{p, v})
+		}
+	}
+	jobs := make([]fleet.Job[perfect.Outcome], len(points))
+	for i, pt := range points {
+		jobs[i] = fleet.Job[perfect.Outcome]{
+			Key: fleet.Key("perfect", pm, pt.profile, pt.v.spec),
+			Run: func(h *scope.Hub) (perfect.Outcome, error) {
+				out, err := perfect.Run(pm, pt.profile, pt.v.spec,
+					h.Sub(fmt.Sprintf("perfect/%s/%s", pt.profile.Name, label(pt.v.spec))))
+				if err != nil {
+					return out, fmt.Errorf("tables: %s: %w", pt.profile.Name, err)
+				}
+				return out, nil
+			},
+		}
+	}
+	outs, err := fleet.Run(fleet.Config{Hub: hub}, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, out := range outs {
+		pt := points[i]
+		pt.v.dst[pt.profile.Name] = out
+		if progress != nil {
+			fmt.Fprintf(progress, "  %-8s %-12v %8.1f s %7.2f MFLOPS\n",
+				pt.profile.Name, label(pt.v.spec), out.Seconds, out.MFLOPS)
 		}
 	}
 	return s, nil

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"cedar/internal/core"
+	"cedar/internal/fleet"
 	"cedar/internal/kernels"
 	"cedar/internal/params"
 	"cedar/internal/scope"
@@ -29,23 +30,45 @@ func RunTable1(n int, obs ...*scope.Hub) (*Table1Result, error) {
 	hub := scope.Of(obs)
 	modes := []kernels.RKMode{kernels.RKNoPref, kernels.RKPref, kernels.RKCache}
 	res := &Table1Result{N: n, Modes: modes, MFLOPS: make([][]float64, len(modes))}
+	type point struct {
+		mi       int
+		clusters int
+		mode     kernels.RKMode
+	}
+	var points []point
 	for mi, mode := range modes {
 		res.MFLOPS[mi] = make([]float64, 4)
 		for clusters := 1; clusters <= 4; clusters++ {
-			p := params.Default()
-			p.Clusters = clusters
-			m, err := core.New(p, core.Options{
-				Scope: hub.Sub(fmt.Sprintf("t1/%s/%dcl", rkShort(mode), clusters)),
-			})
-			if err != nil {
-				return nil, err
-			}
-			out, err := kernels.RankUpdate(m, n, mode)
-			if err != nil {
-				return nil, fmt.Errorf("table1 %v %d clusters: %w", mode, clusters, err)
-			}
-			res.MFLOPS[mi][clusters-1] = out.MFLOPS
+			points = append(points, point{mi: mi, clusters: clusters, mode: mode})
 		}
+	}
+	jobs := make([]fleet.Job[float64], len(points))
+	for i, pt := range points {
+		p := params.Default()
+		p.Clusters = pt.clusters
+		jobs[i] = fleet.Job[float64]{
+			Key: fleet.Key("table1", p, int(pt.mode), n),
+			Run: func(h *scope.Hub) (float64, error) {
+				m, err := core.New(p, core.Options{
+					Scope: h.Sub(fmt.Sprintf("t1/%s/%dcl", rkShort(pt.mode), pt.clusters)),
+				})
+				if err != nil {
+					return 0, err
+				}
+				out, err := kernels.RankUpdate(m, n, pt.mode)
+				if err != nil {
+					return 0, fmt.Errorf("table1 %v %d clusters: %w", pt.mode, pt.clusters, err)
+				}
+				return out.MFLOPS, nil
+			},
+		}
+	}
+	outs, err := fleet.Run(fleet.Config{Hub: hub}, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, pt := range points {
+		res.MFLOPS[pt.mi][pt.clusters-1] = outs[i]
 	}
 	return res, nil
 }

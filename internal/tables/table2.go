@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"cedar/internal/core"
+	"cedar/internal/fleet"
 	"cedar/internal/kernels"
 	"cedar/internal/params"
 	"cedar/internal/scope"
@@ -45,6 +46,13 @@ func RunTable2Small(obs ...*scope.Hub) (*Table2Result, error) {
 	return runTable2(table2Size{vlWords: 1024, tmN: 4096, rkN: 96, cgN: 4096}, scope.Of(obs))
 }
 
+// t2Stats is one (kernel, CE-count) point's measurements.
+type t2Stats struct {
+	Latency float64
+	Inter   float64
+	Blocks  int64
+}
+
 func runTable2(sz table2Size, hub *scope.Hub) (*Table2Result, error) {
 	res := &Table2Result{
 		Kernels: []string{"VL", "TM", "RK", "CG"},
@@ -58,45 +66,64 @@ func runTable2(sz table2Size, hub *scope.Hub) (*Table2Result, error) {
 		res.Inter[k] = map[int]float64{}
 		res.Blocks[k] = map[int]int64{}
 	}
-	for _, ces := range res.CEs {
-		p := params.Default()
-		p.Clusters = ces / p.CEsPerCluster
-		run := func(name string, f func(m *core.Machine) (kernels.Result, error)) error {
-			m, err := core.New(p, core.Options{
-				Scope: hub.Sub(fmt.Sprintf("t2/%s/%dce", strings.ToLower(name), ces)),
-			})
-			if err != nil {
-				return err
-			}
-			out, err := f(m)
-			if err != nil {
-				return fmt.Errorf("table2 %s %d CEs: %w", name, ces, err)
-			}
-			res.Latency[name][ces] = out.Blocks.MeanLatency()
-			res.Inter[name][ces] = out.Blocks.MeanInterarrival()
-			res.Blocks[name][ces] = out.Blocks.Blocks()
-			return nil
-		}
-		if err := run("VL", func(m *core.Machine) (kernels.Result, error) {
+	kernel := map[string]func(m *core.Machine) (kernels.Result, error){
+		"VL": func(m *core.Machine) (kernels.Result, error) {
 			return kernels.VectorLoad(m, sz.vlWords, 2)
-		}); err != nil {
-			return nil, err
-		}
-		if err := run("TM", func(m *core.Machine) (kernels.Result, error) {
+		},
+		"TM": func(m *core.Machine) (kernels.Result, error) {
 			return kernels.TriMat(m, sz.tmN)
-		}); err != nil {
-			return nil, err
-		}
-		if err := run("RK", func(m *core.Machine) (kernels.Result, error) {
+		},
+		"RK": func(m *core.Machine) (kernels.Result, error) {
 			return kernels.RankUpdate(m, sz.rkN, kernels.RKPref)
-		}); err != nil {
-			return nil, err
-		}
-		if err := run("CG", func(m *core.Machine) (kernels.Result, error) {
+		},
+		"CG": func(m *core.Machine) (kernels.Result, error) {
 			return kernels.CG(m, kernels.CGConfig{N: sz.cgN, Iters: 1})
-		}); err != nil {
-			return nil, err
+		},
+	}
+	type point struct {
+		name string
+		ces  int
+	}
+	var points []point
+	for _, ces := range res.CEs {
+		for _, name := range res.Kernels {
+			points = append(points, point{name: name, ces: ces})
 		}
+	}
+	jobs := make([]fleet.Job[t2Stats], len(points))
+	for i, pt := range points {
+		p := params.Default()
+		p.Clusters = pt.ces / p.CEsPerCluster
+		f := kernel[pt.name]
+		jobs[i] = fleet.Job[t2Stats]{
+			Key: fleet.Key("table2", p, pt.name, sz),
+			Run: func(h *scope.Hub) (t2Stats, error) {
+				m, err := core.New(p, core.Options{
+					Scope: h.Sub(fmt.Sprintf("t2/%s/%dce", strings.ToLower(pt.name), pt.ces)),
+				})
+				if err != nil {
+					return t2Stats{}, err
+				}
+				out, err := f(m)
+				if err != nil {
+					return t2Stats{}, fmt.Errorf("table2 %s %d CEs: %w", pt.name, pt.ces, err)
+				}
+				return t2Stats{
+					Latency: out.Blocks.MeanLatency(),
+					Inter:   out.Blocks.MeanInterarrival(),
+					Blocks:  out.Blocks.Blocks(),
+				}, nil
+			},
+		}
+	}
+	outs, err := fleet.Run(fleet.Config{Hub: hub}, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, pt := range points {
+		res.Latency[pt.name][pt.ces] = outs[i].Latency
+		res.Inter[pt.name][pt.ces] = outs[i].Inter
+		res.Blocks[pt.name][pt.ces] = outs[i].Blocks
 	}
 	return res, nil
 }
