@@ -33,6 +33,7 @@ import (
 	"cedar/internal/ce"
 	"cedar/internal/cfrt"
 	"cedar/internal/core"
+	"cedar/internal/fault"
 	"cedar/internal/fleet"
 	"cedar/internal/kernels"
 	"cedar/internal/params"
@@ -344,3 +345,52 @@ var RunMemBW = tables.RunMemBW
 // RunSchedulingAblation compares static, self- and guided loop
 // scheduling with and without Cedar synchronization.
 var RunSchedulingAblation = tables.RunSchedulingAblation
+
+// Fault injection: the cedarfault layer (see internal/fault). A Plan is
+// seed-deterministic data; build a machine with Options{Faults: plan}
+// (or install a process default via SetDefaultFaults, what the CLIs'
+// -faults flag does) and the machine degrades instead of crashing:
+// dead banks remap the interleave, NACKed or lost prefetch reads retry
+// with exponential backoff, and exhausted retries surface as an
+// ErrDegraded result.
+type (
+	// FaultPlan is a seed plus a list of fault descriptions.
+	FaultPlan = fault.Plan
+	// Fault is one injected defect.
+	Fault = fault.Fault
+	// FaultKind names a fault mechanism.
+	FaultKind = fault.Kind
+	// DegradedRow is one scenario of the degraded-mode table.
+	DegradedRow = tables.DegradedRow
+)
+
+// Fault kinds.
+const (
+	FaultBankDead  = fault.BankDead
+	FaultBankStall = fault.BankStall
+	FaultStageJam  = fault.StageJam
+	FaultLinkDrop  = fault.LinkDrop
+	FaultPFUNack   = fault.PFUNack
+)
+
+// ErrDegraded marks a run that completed (or was abandoned) in degraded
+// mode; check with errors.Is.
+var ErrDegraded = fault.ErrDegraded
+
+// LoadFaultPlan reads and validates a JSON fault plan file.
+var LoadFaultPlan = fault.Load
+
+// SetDefaultFaults installs (nil clears) the process-wide fault plan
+// used by machines built without an explicit Options.Faults.
+var SetDefaultFaults = fault.SetDefault
+
+// DemoFaultPlan is the built-in dead-bank + stage-jam + NACK scenario.
+var DemoFaultPlan = fault.DemoPlan
+
+// RunDegraded measures the degraded-mode ablation: the prefetched
+// rank-n update under each fault class, plus the given plan when
+// non-nil.
+var RunDegraded = tables.RunDegraded
+
+// FormatDegraded renders the degraded-mode table.
+var FormatDegraded = tables.FormatDegraded

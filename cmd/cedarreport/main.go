@@ -11,36 +11,51 @@
 //	cedarreport -kernels-only
 //	cedarreport -trace t.json -metrics m.csv   # observability artifacts
 //	cedarreport -jobs 8                # parallel experiment points, identical report
+//	cedarreport -faults plan.json      # every machine runs under the fault plan
 package main
 
 import (
 	"flag"
+	"io"
 	"log"
 	"os"
 	"strings"
 	"time"
 
-	"cedar/internal/fleet"
+	"cedar/internal/cliutil"
 	"cedar/internal/perfect"
 	"cedar/internal/scope"
 	"cedar/internal/tables"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("cedarreport: ")
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with the process edges (args, streams, exit code) passed
+// in, so tests can drive invalid invocations without forking.
+func run(args []string, stdout, stderr io.Writer) int {
+	lg := log.New(stderr, "cedarreport: ", 0)
+	fs := flag.NewFlagSet("cedarreport", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		n         = flag.Int("n", 256, "rank-64 update order (paper: 1K)")
-		full      = flag.Bool("full", false, "use the paper's largest CG sizes")
-		codes     = flag.String("codes", "", "comma-separated Perfect subset (default all 13)")
-		kernOnly  = flag.Bool("kernels-only", false, "skip the Perfect suite and methodology")
-		quiet     = flag.Bool("q", false, "suppress progress lines")
-		tracePath = flag.String("trace", "", "write a Chrome trace-event JSON file (Perfetto / chrome://tracing)")
-		metrics   = flag.String("metrics", "", "write the metrics snapshot as CSV")
-		jobs      = flag.Int("jobs", 0, "parallel experiment jobs (0 = GOMAXPROCS); output is identical at any value")
+		n         = fs.Int("n", 256, "rank-64 update order (paper: 1K)")
+		full      = fs.Bool("full", false, "use the paper's largest CG sizes")
+		codes     = fs.String("codes", "", "comma-separated Perfect subset (default all 13)")
+		kernOnly  = fs.Bool("kernels-only", false, "skip the Perfect suite and methodology")
+		quiet     = fs.Bool("q", false, "suppress progress lines")
+		tracePath = fs.String("trace", "", "write a Chrome trace-event JSON file (Perfetto / chrome://tracing)")
+		metrics   = fs.String("metrics", "", "write the metrics snapshot as CSV")
+		jobs      = fs.Int("jobs", 0, "parallel experiment jobs (0 = GOMAXPROCS); output is identical at any value")
+		faults    = fs.String("faults", "", "JSON fault plan (or \"demo\") injected into every simulated machine")
 	)
-	flag.Parse()
-	fleet.SetJobs(*jobs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if _, err := cliutil.Setup(fs, *jobs, *faults); err != nil {
+		lg.Print(err)
+		return 2
+	}
 
 	var hub *scope.Hub
 	if *tracePath != "" || *metrics != "" {
@@ -50,7 +65,7 @@ func main() {
 	cfg := tables.ReportConfig{
 		RankN:    *n,
 		FullPPT4: *full,
-		Progress: os.Stderr,
+		Progress: stderr,
 		// The CLI wants the elapsed-time trailer; library callers get
 		// byte-identical reports by leaving Now nil.
 		Now: time.Now,
@@ -75,13 +90,17 @@ func main() {
 			}
 		}
 		if len(cfg.Codes) == 0 {
-			log.Fatalf("no codes match %q", *codes)
+			lg.Printf("no codes match %q", *codes)
+			return 2
 		}
 	}
-	if err := tables.WriteReport(os.Stdout, cfg); err != nil {
-		log.Fatal(err)
+	if err := tables.WriteReport(stdout, cfg); err != nil {
+		lg.Print(err)
+		return 1
 	}
 	if err := scope.WriteArtifacts(hub, *tracePath, *metrics); err != nil {
-		log.Fatal(err)
+		lg.Print(err)
+		return 1
 	}
+	return 0
 }

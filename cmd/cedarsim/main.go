@@ -11,23 +11,27 @@
 //	cedarsim -ablation net|pref|sched [-n 256]
 //	cedarsim -scaled [-n 256]
 //	cedarsim -membw
+//	cedarsim -faults plan.json   # degraded-mode table under a fault plan
+//	cedarsim -faults demo        # ... under the built-in dead-bank scenario
 //	cedarsim -all
 //
 // Any run accepts -trace FILE (Chrome trace-event JSON for Perfetto or
 // chrome://tracing) and -metrics FILE (metrics snapshot CSV); -json embeds
 // the per-run metric snapshot next to each result. -jobs N simulates
 // independent experiment points in parallel; output is byte-identical at
-// any job count.
+// any job count. -faults installs a seed-deterministic fault plan for
+// every machine the command builds and adds the degraded-mode table.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
-	"cedar/internal/fleet"
+	"cedar/internal/cliutil"
 	"cedar/internal/scope"
 	"cedar/internal/tables"
 )
@@ -35,10 +39,10 @@ import (
 // emit prints either the formatted table or its JSON representation.
 // With a hub attached, the JSON carries the experiment's slice of the
 // metrics registry alongside the result.
-func emit(asJSON bool, hub *scope.Hub, prefix string, v interface{}, format func() string) {
+func emit(w io.Writer, asJSON bool, hub *scope.Hub, prefix string, v interface{}, format func() string) error {
 	if !asJSON {
-		fmt.Println(format())
-		return
+		_, err := fmt.Fprintln(w, format())
+		return err
 	}
 	var out interface{} = v
 	if hub != nil {
@@ -47,32 +51,44 @@ func emit(asJSON bool, hub *scope.Hub, prefix string, v interface{}, format func
 			Metrics []scope.Sample `json:"metrics"`
 		}{v, hub.SnapshotUnder(prefix)}
 	}
-	enc := json.NewEncoder(os.Stdout)
+	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(out); err != nil {
-		log.Fatal(err)
-	}
+	return enc.Encode(out)
 }
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("cedarsim: ")
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with the process edges (args, streams, exit code) passed
+// in, so tests can drive invalid invocations without forking.
+func run(args []string, stdout, stderr io.Writer) int {
+	lg := log.New(stderr, "cedarsim: ", 0)
+	fs := flag.NewFlagSet("cedarsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		table     = flag.Int("table", 0, "regenerate table 1 or 2")
-		n         = flag.Int("n", 256, "matrix order for the rank-64 update (paper: 1K)")
-		small     = flag.Bool("small", false, "reduced problem sizes for table 2")
-		overheads = flag.Bool("overheads", false, "measure runtime library overheads")
-		ablation  = flag.String("ablation", "", "run an ablation: net, pref, or sched")
-		scaled    = flag.Bool("scaled", false, "run the scaled-Cedar PPT5 probe")
-		membw     = flag.Bool("membw", false, "run the [GJTV91] memory characterization sweep")
-		asJSON    = flag.Bool("json", false, "emit results as JSON instead of tables")
-		all       = flag.Bool("all", false, "run everything")
-		tracePath = flag.String("trace", "", "write a Chrome trace-event JSON file (Perfetto / chrome://tracing)")
-		metrics   = flag.String("metrics", "", "write the metrics snapshot as CSV")
-		jobs      = flag.Int("jobs", 0, "parallel experiment jobs (0 = GOMAXPROCS); output is identical at any value")
+		table     = fs.Int("table", 0, "regenerate table 1 or 2")
+		n         = fs.Int("n", 256, "matrix order for the rank-64 update (paper: 1K)")
+		small     = fs.Bool("small", false, "reduced problem sizes for table 2")
+		overheads = fs.Bool("overheads", false, "measure runtime library overheads")
+		ablation  = fs.String("ablation", "", "run an ablation: net, pref, or sched")
+		scaled    = fs.Bool("scaled", false, "run the scaled-Cedar PPT5 probe")
+		membw     = fs.Bool("membw", false, "run the [GJTV91] memory characterization sweep")
+		asJSON    = fs.Bool("json", false, "emit results as JSON instead of tables")
+		all       = fs.Bool("all", false, "run everything")
+		tracePath = fs.String("trace", "", "write a Chrome trace-event JSON file (Perfetto / chrome://tracing)")
+		metrics   = fs.String("metrics", "", "write the metrics snapshot as CSV")
+		jobs      = fs.Int("jobs", 0, "parallel experiment jobs (0 = GOMAXPROCS); output is identical at any value")
+		faults    = fs.String("faults", "", "JSON fault plan (or \"demo\") injected into every simulated machine")
 	)
-	flag.Parse()
-	fleet.SetJobs(*jobs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	plan, err := cliutil.Setup(fs, *jobs, *faults)
+	if err != nil {
+		lg.Print(err)
+		return 2
+	}
 
 	// The hub exists whenever an artifact or JSON metrics are wanted;
 	// otherwise machines are built uninstrumented at zero cost.
@@ -86,17 +102,25 @@ func main() {
 		ran = true
 		ov, err := tables.RunOverheads(hub)
 		if err != nil {
-			log.Fatal(err)
+			lg.Print(err)
+			return 1
 		}
-		emit(*asJSON, hub, "overheads", ov, ov.Format)
+		if err := emit(stdout, *asJSON, hub, "overheads", ov, ov.Format); err != nil {
+			lg.Print(err)
+			return 1
+		}
 	}
 	if *all || *table == 1 {
 		ran = true
 		t1, err := tables.RunTable1(*n, hub)
 		if err != nil {
-			log.Fatal(err)
+			lg.Print(err)
+			return 1
 		}
-		emit(*asJSON, hub, "t1", t1, t1.Format)
+		if err := emit(stdout, *asJSON, hub, "t1", t1, t1.Format); err != nil {
+			lg.Print(err)
+			return 1
+		}
 	}
 	if *all || *table == 2 {
 		ran = true
@@ -108,59 +132,97 @@ func main() {
 			t2, err = tables.RunTable2(hub)
 		}
 		if err != nil {
-			log.Fatal(err)
+			lg.Print(err)
+			return 1
 		}
-		emit(*asJSON, hub, "t2", t2, t2.Format)
+		if err := emit(stdout, *asJSON, hub, "t2", t2, t2.Format); err != nil {
+			lg.Print(err)
+			return 1
+		}
 	}
 	if *all || *ablation == "net" {
 		ran = true
 		rows, err := tables.RunNetworkAblation(*n, hub)
 		if err != nil {
-			log.Fatal(err)
+			lg.Print(err)
+			return 1
 		}
-		emit(*asJSON, hub, "net", rows, func() string { return tables.FormatNetworkAblation(rows) })
+		if err := emit(stdout, *asJSON, hub, "net", rows, func() string { return tables.FormatNetworkAblation(rows) }); err != nil {
+			lg.Print(err)
+			return 1
+		}
 	}
 	if *all || *ablation == "sched" {
 		ran = true
 		rows, err := tables.RunSchedulingAblation(hub)
 		if err != nil {
-			log.Fatal(err)
+			lg.Print(err)
+			return 1
 		}
-		emit(*asJSON, hub, "sched", rows, func() string { return tables.FormatScheduling(rows) })
+		if err := emit(stdout, *asJSON, hub, "sched", rows, func() string { return tables.FormatScheduling(rows) }); err != nil {
+			lg.Print(err)
+			return 1
+		}
 	}
 	if *all || *ablation == "pref" {
 		ran = true
 		rows, err := tables.RunPrefetchBlockAblation(*n, hub)
 		if err != nil {
-			log.Fatal(err)
+			lg.Print(err)
+			return 1
 		}
-		emit(*asJSON, hub, "prefblock", rows, func() string { return tables.FormatPrefetchBlock(rows) })
+		if err := emit(stdout, *asJSON, hub, "prefblock", rows, func() string { return tables.FormatPrefetchBlock(rows) }); err != nil {
+			lg.Print(err)
+			return 1
+		}
 	}
 	if *all || *scaled {
 		ran = true
 		rows, err := tables.RunScaledCedar(*n, hub)
 		if err != nil {
-			log.Fatal(err)
+			lg.Print(err)
+			return 1
 		}
-		emit(*asJSON, hub, "scaled", rows, func() string { return tables.FormatScaled(rows) })
+		if err := emit(stdout, *asJSON, hub, "scaled", rows, func() string { return tables.FormatScaled(rows) }); err != nil {
+			lg.Print(err)
+			return 1
+		}
 	}
 	if *all || *membw {
 		ran = true
 		bw, err := tables.RunMemBW(4096, hub)
 		if err != nil {
-			log.Fatal(err)
+			lg.Print(err)
+			return 1
 		}
-		emit(*asJSON, hub, "membw", bw, bw.Format)
+		if err := emit(stdout, *asJSON, hub, "membw", bw, bw.Format); err != nil {
+			lg.Print(err)
+			return 1
+		}
+	}
+	if *all || plan != nil {
+		ran = true
+		rows, err := tables.RunDegraded(*n, plan, hub)
+		if err != nil {
+			lg.Print(err)
+			return 1
+		}
+		if err := emit(stdout, *asJSON, hub, "degraded", rows, func() string { return tables.FormatDegraded(rows) }); err != nil {
+			lg.Print(err)
+			return 1
+		}
 	}
 	if !ran {
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
 	}
 	if hub != nil && !*asJSON {
-		fmt.Println("cycle attribution")
-		fmt.Print(scope.FormatAttribution(hub.Attribution()))
+		fmt.Fprintln(stdout, "cycle attribution")
+		fmt.Fprint(stdout, scope.FormatAttribution(hub.Attribution()))
 	}
 	if err := scope.WriteArtifacts(hub, *tracePath, *metrics); err != nil {
-		log.Fatal(err)
+		lg.Print(err)
+		return 1
 	}
+	return 0
 }

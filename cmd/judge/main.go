@@ -12,34 +12,49 @@
 //	judge -all
 //	judge -trace t.json -metrics m.csv   # observability artifacts
 //	judge -jobs 8         # parallel suite/sweep points, identical output
+//	judge -faults plan.json   # every machine runs under the fault plan
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
-	"cedar/internal/fleet"
+	"cedar/internal/cliutil"
 	"cedar/internal/params"
 	"cedar/internal/scope"
 	"cedar/internal/tables"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("judge: ")
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with the process edges (args, streams, exit code) passed
+// in, so tests can drive invalid invocations without forking.
+func run(args []string, stdout, stderr io.Writer) int {
+	lg := log.New(stderr, "judge: ", 0)
+	fs := flag.NewFlagSet("judge", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		ppt4Only  = flag.Bool("ppt4", false, "run only the PPT4 scalability study")
-		full      = flag.Bool("full", false, "use the paper's largest problem sizes")
-		all       = flag.Bool("all", false, "run everything")
-		quiet     = flag.Bool("q", false, "suppress per-run progress lines")
-		tracePath = flag.String("trace", "", "write a Chrome trace-event JSON file (Perfetto / chrome://tracing)")
-		metrics   = flag.String("metrics", "", "write the metrics snapshot as CSV")
-		jobs      = flag.Int("jobs", 0, "parallel experiment jobs (0 = GOMAXPROCS); output is identical at any value")
+		ppt4Only  = fs.Bool("ppt4", false, "run only the PPT4 scalability study")
+		full      = fs.Bool("full", false, "use the paper's largest problem sizes")
+		all       = fs.Bool("all", false, "run everything")
+		quiet     = fs.Bool("q", false, "suppress per-run progress lines")
+		tracePath = fs.String("trace", "", "write a Chrome trace-event JSON file (Perfetto / chrome://tracing)")
+		metrics   = fs.String("metrics", "", "write the metrics snapshot as CSV")
+		jobs      = fs.Int("jobs", 0, "parallel experiment jobs (0 = GOMAXPROCS); output is identical at any value")
+		faults    = fs.String("faults", "", "JSON fault plan (or \"demo\") injected into every simulated machine")
 	)
-	flag.Parse()
-	fleet.SetJobs(*jobs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if _, err := cliutil.Setup(fs, *jobs, *faults); err != nil {
+		lg.Print(err)
+		return 2
+	}
 
 	var hub *scope.Hub
 	if *tracePath != "" || *metrics != "" {
@@ -47,34 +62,38 @@ func main() {
 	}
 
 	if !*ppt4Only || *all {
-		progress := os.Stderr
+		var progress io.Writer = stderr
 		if *quiet {
 			progress = nil
 		}
 		suite, err := tables.RunSuite(params.Default(), nil, progress, hub)
 		if err != nil {
-			log.Fatal(err)
+			lg.Print(err)
+			return 1
 		}
-		fmt.Println("Table 5: Instability for Perfect codes")
-		fmt.Println(tables.BuildTable5(suite).Format())
-		fmt.Println("Table 6: Restructuring Efficiency")
-		fmt.Println(tables.BuildTable6(suite).Format())
-		fmt.Println("Figure 3: Cray YMP/8 vs Cedar Efficiency")
-		fmt.Println(tables.BuildFigure3(suite).Format())
+		fmt.Fprintln(stdout, "Table 5: Instability for Perfect codes")
+		fmt.Fprintln(stdout, tables.BuildTable5(suite).Format())
+		fmt.Fprintln(stdout, "Table 6: Restructuring Efficiency")
+		fmt.Fprintln(stdout, tables.BuildTable6(suite).Format())
+		fmt.Fprintln(stdout, "Figure 3: Cray YMP/8 vs Cedar Efficiency")
+		fmt.Fprintln(stdout, tables.BuildFigure3(suite).Format())
 	}
 	if *ppt4Only || *all {
 		res, err := tables.RunPPT4(*full, hub)
 		if err != nil {
-			log.Fatal(err)
+			lg.Print(err)
+			return 1
 		}
-		fmt.Println("PPT4: code and architecture scalability")
-		fmt.Println(res.Format())
+		fmt.Fprintln(stdout, "PPT4: code and architecture scalability")
+		fmt.Fprintln(stdout, res.Format())
 	}
 	if hub != nil {
-		fmt.Println("cycle attribution")
-		fmt.Print(scope.FormatAttribution(hub.Attribution()))
+		fmt.Fprintln(stdout, "cycle attribution")
+		fmt.Fprint(stdout, scope.FormatAttribution(hub.Attribution()))
 	}
 	if err := scope.WriteArtifacts(hub, *tracePath, *metrics); err != nil {
-		log.Fatal(err)
+		lg.Print(err)
+		return 1
 	}
+	return 0
 }

@@ -11,6 +11,7 @@
 //	perfect -q           # suppress per-run progress
 //	perfect -trace t.json -metrics m.csv   # observability artifacts
 //	perfect -jobs 8      # parallel code/variant runs, identical output
+//	perfect -faults plan.json   # every machine runs under the fault plan
 package main
 
 import (
@@ -21,7 +22,7 @@ import (
 	"os"
 	"strings"
 
-	"cedar/internal/fleet"
+	"cedar/internal/cliutil"
 	"cedar/internal/params"
 	"cedar/internal/perfect"
 	"cedar/internal/scope"
@@ -29,17 +30,30 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("perfect: ")
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with the process edges (args, streams, exit code) passed
+// in, so tests can drive invalid invocations without forking.
+func run(args []string, stdout, stderr io.Writer) int {
+	lg := log.New(stderr, "perfect: ", 0)
+	fs := flag.NewFlagSet("perfect", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		codesFlag = flag.String("codes", "", "comma-separated subset of codes (default: all 13)")
-		quiet     = flag.Bool("q", false, "suppress per-run progress lines")
-		tracePath = flag.String("trace", "", "write a Chrome trace-event JSON file (Perfetto / chrome://tracing)")
-		metrics   = flag.String("metrics", "", "write the metrics snapshot as CSV")
-		jobs      = flag.Int("jobs", 0, "parallel experiment jobs (0 = GOMAXPROCS); output is identical at any value")
+		codesFlag = fs.String("codes", "", "comma-separated subset of codes (default: all 13)")
+		quiet     = fs.Bool("q", false, "suppress per-run progress lines")
+		tracePath = fs.String("trace", "", "write a Chrome trace-event JSON file (Perfetto / chrome://tracing)")
+		metrics   = fs.String("metrics", "", "write the metrics snapshot as CSV")
+		jobs      = fs.Int("jobs", 0, "parallel experiment jobs (0 = GOMAXPROCS); output is identical at any value")
+		faults    = fs.String("faults", "", "JSON fault plan (or \"demo\") injected into every simulated machine")
 	)
-	flag.Parse()
-	fleet.SetJobs(*jobs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if _, err := cliutil.Setup(fs, *jobs, *faults); err != nil {
+		lg.Print(err)
+		return 2
+	}
 
 	var hub *scope.Hub
 	if *tracePath != "" || *metrics != "" {
@@ -59,28 +73,32 @@ func main() {
 			}
 		}
 		if len(sel) == 0 {
-			log.Fatalf("no codes match %q", *codesFlag)
+			lg.Printf("no codes match %q", *codesFlag)
+			return 2
 		}
 		codes = sel
 	}
 
-	var progress io.Writer = os.Stderr
+	var progress io.Writer = stderr
 	if *quiet {
 		progress = nil
 	}
 	suite, err := tables.RunSuite(params.Default(), codes, progress, hub)
 	if err != nil {
-		log.Fatal(err)
+		lg.Print(err)
+		return 1
 	}
-	fmt.Println("Table 3: Cedar execution time, MFLOPS and speed improvement for the Perfect Benchmarks")
-	fmt.Println(tables.BuildTable3(suite).Format())
-	fmt.Println("Table 4: execution times for manually altered Perfect codes")
-	fmt.Println(tables.FormatTable4(tables.BuildTable4(suite)))
+	fmt.Fprintln(stdout, "Table 3: Cedar execution time, MFLOPS and speed improvement for the Perfect Benchmarks")
+	fmt.Fprintln(stdout, tables.BuildTable3(suite).Format())
+	fmt.Fprintln(stdout, "Table 4: execution times for manually altered Perfect codes")
+	fmt.Fprintln(stdout, tables.FormatTable4(tables.BuildTable4(suite)))
 	if hub != nil {
-		fmt.Println("cycle attribution")
-		fmt.Print(scope.FormatAttribution(hub.Attribution()))
+		fmt.Fprintln(stdout, "cycle attribution")
+		fmt.Fprint(stdout, scope.FormatAttribution(hub.Attribution()))
 	}
 	if err := scope.WriteArtifacts(hub, *tracePath, *metrics); err != nil {
-		log.Fatal(err)
+		lg.Print(err)
+		return 1
 	}
+	return 0
 }

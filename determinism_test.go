@@ -220,3 +220,86 @@ func TestReportBytesDeterminism(t *testing.T) {
 		t.Errorf("report header bytes disagree across runs:\n%q\nvs\n%q", first, second)
 	}
 }
+
+// TestFaultedRunDeterministic is the cedarfault acceptance check: a
+// degraded run is as reproducible as a healthy one. The same fault plan
+// (a dead bank, a jammed network stage, transient prefetch NACKs) at
+// -jobs 1 and -jobs 8 must yield byte-identical table text, JSON, trace
+// and metrics — the injector draws from a counter-based PRNG keyed on
+// (seed, component, cycle), never from shared mutable state. Like the
+// healthy equality test it runs under -race with the pool really on.
+func TestFaultedRunDeterministic(t *testing.T) {
+	plan := &cedar.FaultPlan{
+		Seed: 0xCEDA,
+		Faults: []cedar.Fault{
+			{Kind: cedar.FaultBankDead, Module: 3},
+			{Kind: cedar.FaultStageJam, Fabric: "fwd", Stage: 0, Line: -1, Rate: 0.05},
+			{Kind: cedar.FaultPFUNack, Module: -1, Rate: 0.02},
+		},
+	}
+	type artifacts struct {
+		table, jsonOut, trace, metrics []byte
+		rows                           []cedar.DegradedRow
+	}
+	run := func(jobs int) artifacts {
+		t.Helper()
+		cedar.SetJobs(jobs)
+		defer cedar.SetJobs(0)
+		cedar.ResetRunCache()
+		hub := cedar.NewHub()
+		rows, err := cedar.RunDegraded(48, plan, hub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jsonOut, err := json.MarshalIndent(struct {
+			Result  []cedar.DegradedRow  `json:"result"`
+			Metrics []cedar.MetricSample `json:"metrics"`
+		}{rows, hub.SnapshotUnder("degraded")}, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var tb, mb bytes.Buffer
+		if err := hub.WriteChromeTrace(&tb); err != nil {
+			t.Fatal(err)
+		}
+		if err := hub.WriteMetricsCSV(&mb); err != nil {
+			t.Fatal(err)
+		}
+		return artifacts{[]byte(cedar.FormatDegraded(rows)), jsonOut, tb.Bytes(), mb.Bytes(), rows}
+	}
+
+	seq, par := run(1), run(8)
+	for _, cmp := range []struct {
+		name      string
+		got, want []byte
+	}{
+		{"degraded table text", par.table, seq.table},
+		{"JSON output", par.jsonOut, seq.jsonOut},
+		{"trace JSON", par.trace, seq.trace},
+		{"metrics CSV", par.metrics, seq.metrics},
+	} {
+		if !bytes.Equal(cmp.got, cmp.want) {
+			t.Errorf("%s differs between -jobs 1 and -jobs 8:\n-jobs 8:\n%s\n-jobs 1:\n%s",
+				cmp.name, cmp.got, cmp.want)
+		}
+	}
+
+	// The check is vacuous if nothing was actually injected: the healthy
+	// baseline row must stay clean and the faulted rows must fire.
+	if len(seq.rows) < 2 {
+		t.Fatalf("degraded table has %d rows", len(seq.rows))
+	}
+	if seq.rows[0].Injected != 0 || seq.rows[0].DeadMods != 0 {
+		t.Errorf("healthy baseline row saw faults: %+v", seq.rows[0])
+	}
+	injected := int64(0)
+	for _, r := range seq.rows[1:] {
+		injected += r.Injected + int64(r.DeadMods)
+	}
+	if injected == 0 {
+		t.Error("no scenario injected any fault; the plan never fired")
+	}
+	if !bytes.Contains(seq.metrics, []byte("fault.")) {
+		t.Error("metrics CSV carries no fault.* counters")
+	}
+}

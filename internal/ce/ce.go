@@ -60,6 +60,10 @@ type CE struct {
 	activeCyc int64
 	waitCyc   int64
 	doneAt    int64
+
+	// Fault recovery (degraded-mode runs).
+	faulty  bool  // fault plan active: poll the PFU for terminal errors
+	failErr error // terminal fault; the CE abandons its program
 }
 
 type vecState struct {
@@ -111,6 +115,31 @@ func New(p params.Machine, id, clusterID, idInCluster, port int,
 // PFU exposes the CE's prefetch unit (for monitor attachment).
 func (c *CE) PFU() *prefetch.PFU { return c.pfu }
 
+// ArmFaultRecovery enables degraded-mode operation: the PFU arms its
+// NACK/timeout retry machinery and the CE turns a retry-exhausted
+// element into a recorded error (surfaced by Err) instead of waiting
+// forever on a word that will never arrive.
+func (c *CE) ArmFaultRecovery() {
+	c.faulty = true
+	c.pfu.ArmRetry()
+}
+
+// Err returns the terminal fault that made this CE abandon its program,
+// or nil. A failed CE reports Idle so the run can finish and the
+// machine can surface a degraded result.
+func (c *CE) Err() error { return c.failErr }
+
+// fail records a terminal fault and abandons the current instruction.
+func (c *CE) fail(err error, cycle int64) {
+	if c.failErr != nil {
+		return
+	}
+	c.failErr = fmt.Errorf("ce%d: %w", c.ID, err)
+	c.cur = nil
+	c.finished = true
+	c.doneAt = cycle
+}
+
 // SetController installs the instruction source and clears completion.
 func (c *CE) SetController(ctrl Controller) {
 	c.ctrl = ctrl
@@ -136,8 +165,13 @@ func (c *CE) DoneAt() int64 { return c.doneAt }
 // Name implements sim.Component.
 func (c *CE) Name() string { return fmt.Sprintf("ce%d", c.ID) }
 
-// Idle implements sim.Idler: finished and nothing in flight.
+// Idle implements sim.Idler: finished and nothing in flight. A CE that
+// hit a terminal fault abandoned its program: it is idle as soon as its
+// stores drain, so the run can end and report the degradation.
 func (c *CE) Idle() bool {
+	if c.failErr != nil {
+		return c.storesOutstanding == 0 && len(c.pendingStores) == 0
+	}
 	return c.finished && c.cur == nil && c.storesOutstanding == 0 &&
 		len(c.pendingStores) == 0 && !c.pfu.Busy()
 }
@@ -163,6 +197,11 @@ func (c *CE) Tick(cycle int64) {
 		c.pfu.Resume(c.pfu.PendingAddr())
 	}
 	c.pfu.Tick(cycle)
+	if c.faulty && c.failErr == nil {
+		if err := c.pfu.Err(); err != nil {
+			c.fail(err, cycle)
+		}
+	}
 }
 
 func (c *CE) fetch(cycle int64) {

@@ -1,0 +1,46 @@
+// Package cliutil holds the flag plumbing shared by the four commands:
+// validation of the -jobs worker count and loading/installing the
+// -faults plan. Keeping it in one place means the commands cannot
+// drift apart in how they reject bad invocations.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+
+	"cedar/internal/fault"
+	"cedar/internal/fleet"
+)
+
+// Setup applies the shared -jobs and -faults flags after fs has been
+// parsed. jobs must be positive when the user set it explicitly (the
+// unset default 0 means GOMAXPROCS). faultsPath, when non-empty, names
+// a JSON fault plan — or the literal "demo" for the built-in
+// dead-bank-plus-network-fault scenario — which is validated and
+// installed as the process-wide default so every machine the command
+// builds runs under it. The loaded plan (nil when faultsPath is empty)
+// is returned; errors are suitable for printing followed by exit 2.
+func Setup(fs *flag.FlagSet, jobs int, faultsPath string) (*fault.Plan, error) {
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if explicit["jobs"] && jobs <= 0 {
+		return nil, fmt.Errorf("-jobs must be at least 1, got %d", jobs)
+	}
+	fleet.SetJobs(jobs)
+
+	var plan *fault.Plan
+	if faultsPath != "" {
+		if faultsPath == "demo" {
+			plan = fault.DemoPlan()
+		} else {
+			var err error
+			if plan, err = fault.Load(faultsPath); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Install unconditionally: a command invoked without -faults must
+	// clear any plan a previous test or library caller left behind.
+	fault.SetDefault(plan)
+	return plan, nil
+}

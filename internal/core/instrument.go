@@ -92,6 +92,19 @@ func (m *Machine) instrument() {
 		return v
 	})
 
+	// Fault-injection and recovery counters, only on faulted machines so
+	// healthy metrics artifacts stay identical to the pre-fault layout.
+	if inj := m.Faults; inj != nil {
+		h.Counter("fault.bank_stalls", func() int64 { return inj.Stats().BankStalls })
+		h.Counter("fault.stage_jams", func() int64 { return inj.Stats().StageJams })
+		h.Counter("fault.link_drops", func() int64 { return inj.Stats().LinkDrops })
+		h.Counter("fault.pfu_nacks", func() int64 { return inj.Stats().PFUNacks })
+		h.Gauge("fault.dead_modules", func() int64 { return int64(inj.DeadModules()) })
+		h.Counter("fault.pfu_retries", func() int64 { return m.FaultCounters().Retries })
+		h.Counter("fault.pfu_timeouts", func() int64 { return m.FaultCounters().Timeouts })
+		h.Counter("fault.failed_ces", func() int64 { return int64(m.FaultCounters().FailedCE) })
+	}
+
 	// Prefetch-block lifetime spans: first issue to last arrival, one
 	// track per CE, matching the paper's single-processor block monitor
 	// but machine-wide.

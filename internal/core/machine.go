@@ -11,11 +11,13 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"cedar/internal/cache"
 	"cedar/internal/ccbus"
 	"cedar/internal/ce"
 	"cedar/internal/cmem"
+	"cedar/internal/fault"
 	"cedar/internal/gmem"
 	"cedar/internal/network"
 	"cedar/internal/params"
@@ -47,6 +49,12 @@ type Options struct {
 	// publishes metrics, trace spans, and cycle attribution on. Nil (the
 	// default) builds an uninstrumented machine at zero overhead.
 	Scope *scope.Hub
+	// Faults, when non-nil, is the fault plan this machine runs under.
+	// Nil falls back to the process-wide plan installed by the CLIs'
+	// -faults flag (fault.SetDefault); NoFaults forces a healthy machine
+	// regardless of either.
+	Faults   *fault.Plan
+	NoFaults bool
 }
 
 // Cluster is one Alliant FX/8.
@@ -79,6 +87,8 @@ type Machine struct {
 	// Scope is the observability hub the machine was built with (nil when
 	// observability is off). The runtime picks it up automatically.
 	Scope *scope.Hub
+	// Faults is the machine's fault injector; nil on healthy machines.
+	Faults *fault.Injector
 
 	nextGlobal uint64
 	flopsBase  int64
@@ -116,6 +126,24 @@ func New(p params.Machine, opt Options) (*Machine, error) {
 	m := &Machine{P: p, Engine: sim.New(), Fwd: fwd, Rev: rev, Scope: opt.Scope}
 	m.Mem = gmem.New(p, fwd, rev, nil)
 
+	plan := opt.Faults
+	if plan == nil && !opt.NoFaults {
+		plan = fault.Default()
+	}
+	if !opt.NoFaults && plan != nil {
+		inj, err := fault.NewInjector(p, plan)
+		if err != nil {
+			return nil, err
+		}
+		m.Faults = inj
+		if inj != nil {
+			inj.SetScope(opt.Scope)
+			m.Mem.SetFaults(inj)
+			fwd.SetFaults(inj)
+			rev.SetFaults(inj)
+		}
+	}
+
 	for cl := 0; cl < p.Clusters; cl++ {
 		cm := cmem.New(p.CMemWordsPerCyc, p.CMemLatency, nil)
 		cc := cache.New(p, p.CEsPerCluster, cm)
@@ -136,6 +164,12 @@ func New(p params.Machine, opt Options) (*Machine, error) {
 		for i := 0; i < p.CEsPerCluster; i++ {
 			id := cl*p.CEsPerCluster + i
 			c := ce.New(p, id, cl, i, id*ceStride, fwd, rev, cc, m.Mem.ModuleFor)
+			if m.Faults.Retryable() {
+				// Only recoverable faults (NACKs, drops) arm the retry
+				// machinery: timeout watchdogs under a stall-only plan
+				// would add behavior the plan doesn't call for.
+				c.ArmFaultRecovery()
+			}
 			cluster.CEs = append(cluster.CEs, c)
 			m.CEs = append(m.CEs, c)
 			m.Engine.Register(c)
@@ -217,6 +251,12 @@ func (m *Machine) RunOn(ces []*ce.CE, ctrl ce.Controller, limit int64) (Result, 
 		return true
 	}, limit)
 	if err != nil {
+		// Under a fault plan a starved program is a degraded run, not a
+		// simulator failure: injected faults can legitimately keep a
+		// barrier from ever filling.
+		if m.Faults != nil {
+			return Result{}, fmt.Errorf("core: %w: program did not complete: %v", fault.ErrDegraded, err)
+		}
 		return Result{}, fmt.Errorf("core: program did not complete: %w", err)
 	}
 	// Let the memory system drain (stores in flight etc.).
@@ -234,5 +274,50 @@ func (m *Machine) RunOn(ces []*ce.CE, ctrl ce.Controller, limit int64) (Result, 
 		Seconds: params.CyclesToSeconds(cycles),
 	}
 	r.MFLOPS = params.MFLOPS(r.Flops, r.Cycles)
+	// CEs that exhausted a retry budget abandoned their program; the
+	// timing is still measured, so report it alongside the degradation.
+	var failed []string
+	for _, c := range ces {
+		if cerr := c.Err(); cerr != nil {
+			failed = append(failed, cerr.Error())
+		}
+	}
+	if len(failed) > 0 {
+		return r, fmt.Errorf("core: %w: %s", fault.ErrDegraded, strings.Join(failed, "; "))
+	}
 	return r, nil
+}
+
+// FaultCounters summarizes a faulted machine's injections and the
+// recovery work they caused — the numbers the degraded-mode table and
+// the observability hub report.
+type FaultCounters struct {
+	Injected int64 // faults fired (stalls + jams + drops + NACKs)
+	Retries  int64 // PFU element reissues
+	Timeouts int64 // PFU requests presumed lost
+	Nacks    int64 // NACK replies received by PFUs
+	DeadMods int   // memory modules removed from service
+	FailedCE int   // CEs that abandoned their program
+}
+
+// FaultCounters reads the machine's fault and recovery counters; all
+// zeros on a healthy machine.
+func (m *Machine) FaultCounters() FaultCounters {
+	var fc FaultCounters
+	if m.Faults == nil {
+		return fc
+	}
+	st := m.Faults.Stats()
+	fc.Injected = st.BankStalls + st.StageJams + st.LinkDrops + st.PFUNacks
+	fc.DeadMods = m.Faults.DeadModules()
+	for _, c := range m.CEs {
+		ps := c.PFU().Stats()
+		fc.Retries += ps.Retries
+		fc.Timeouts += ps.Timeouts
+		fc.Nacks += ps.Nacks
+		if c.Err() != nil {
+			fc.FailedCE++
+		}
+	}
+	return fc
 }

@@ -5,6 +5,8 @@ import (
 	"encoding/hex"
 	"fmt"
 	"sync"
+
+	"cedar/internal/fault"
 )
 
 // Cache is a content-addressed, single-flight run cache: the first job to
@@ -83,6 +85,14 @@ func Key(kind string, parts ...any) string {
 	fmt.Fprintf(h, "%s", kind)
 	for _, p := range parts {
 		fmt.Fprintf(h, "|%#v", p)
+	}
+	// The process-wide fault plan changes every machine a job builds, so
+	// it is an implicit input of every keyed job: mixing it in keeps a
+	// healthy run from ever being served a faulted run's cached result
+	// (or vice versa). Jobs that pass an explicit plan also include it
+	// in their parts.
+	if fp := fault.DefaultFingerprint(); fp != "" {
+		fmt.Fprintf(h, "|faults:%s", fp)
 	}
 	return kind + ":" + hex.EncodeToString(h.Sum(nil)[:16])
 }

@@ -154,6 +154,12 @@ func runOne[T any](j Job[T], hub *scope.Hub, cache *Cache) (T, error) {
 			return zero, err
 		}
 		if tv, ok := v.(T); ok {
+			// Every caller — including the one that just computed the
+			// value — gets a deep copy, so mutating a returned result
+			// can never corrupt the cached original or a sibling hit.
+			if cp, ok := deepCopy(tv).(T); ok {
+				return cp, nil
+			}
 			return tv, nil
 		}
 		// A key collision across result types is a caller bug; recompute

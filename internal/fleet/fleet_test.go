@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"cedar/internal/fault"
 	"cedar/internal/params"
 	"cedar/internal/scope"
 )
@@ -203,4 +204,78 @@ func TestJobsDefault(t *testing.T) {
 		t.Errorf("Jobs() after SetJobs(3) = %d", Jobs())
 	}
 	SetJobs(0)
+}
+
+// rowResult is a cache-hostile result shape: every reference kind the
+// deep copy must sever, including nesting.
+type rowResult struct {
+	Rows   []float64
+	Labels map[string]int
+	Peak   *int64
+	Nested []*rowResult
+}
+
+// TestCacheHitsAreIsolated is the aliasing regression: results handed
+// out by the run cache must be structurally independent, so a caller
+// that mutates its result (tables post-process rows in place, e.g.
+// normalizing cycles into slowdowns) cannot corrupt the cached original
+// or a sibling cache hit.
+func TestCacheHitsAreIsolated(t *testing.T) {
+	cache := NewCache()
+	peak := int64(99)
+	job := Job[*rowResult]{
+		Key: "aliased-point",
+		Run: func(*scope.Hub) (*rowResult, error) {
+			p := peak
+			return &rowResult{
+				Rows:   []float64{1, 2, 3},
+				Labels: map[string]int{"a": 1},
+				Peak:   &p,
+				Nested: []*rowResult{{Rows: []float64{9}}},
+			}, nil
+		},
+	}
+
+	first, err := Run(Config{Jobs: 1, Cache: cache}, []Job[*rowResult]{job})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first caller (the one that computed the value) mutates every
+	// layer of its copy.
+	first[0].Rows[0] = -1
+	first[0].Labels["a"] = -1
+	*first[0].Peak = -1
+	first[0].Nested[0].Rows[0] = -1
+
+	second, err := Run(Config{Jobs: 1, Cache: cache}, []Job[*rowResult]{job})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := second[0]
+	if got.Rows[0] != 1 || got.Labels["a"] != 1 || *got.Peak != 99 || got.Nested[0].Rows[0] != 9 {
+		t.Fatalf("cache hit observed a sibling's mutations: %+v (peak %d, nested %v)",
+			got, *got.Peak, got.Nested[0].Rows)
+	}
+	// And the two hits must not alias each other either.
+	if &first[0].Rows[0] == &second[0].Rows[0] || first[0].Peak == second[0].Peak {
+		t.Fatal("two cache hits share backing storage")
+	}
+}
+
+// TestKeySeesDefaultFaultPlan: the process-wide fault plan changes every
+// machine a job builds, so it must be part of every cache key — a
+// healthy run must never be served a faulted run's result.
+func TestKeySeesDefaultFaultPlan(t *testing.T) {
+	t.Cleanup(func() { fault.SetDefault(nil) })
+	fault.SetDefault(nil)
+	healthy := Key("point", 1)
+	fault.SetDefault(fault.DemoPlan())
+	faulted := Key("point", 1)
+	if healthy == faulted {
+		t.Fatal("cache key ignores the installed fault plan")
+	}
+	fault.SetDefault(nil)
+	if again := Key("point", 1); again != healthy {
+		t.Fatalf("healthy key unstable: %q vs %q", again, healthy)
+	}
 }

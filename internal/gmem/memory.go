@@ -3,6 +3,7 @@ package gmem
 import (
 	"fmt"
 
+	"cedar/internal/fault"
 	"cedar/internal/network"
 	"cedar/internal/params"
 )
@@ -29,6 +30,12 @@ type Memory struct {
 	mods       []module
 	portStride int
 
+	// live lists the in-service module indices; interleaving maps
+	// addr % len(live) onto it. Healthy machines list every module, so
+	// the mapping reduces to the plain addr % MemModules interleave.
+	live []int
+	inj  *fault.Injector
+
 	stats Stats
 }
 
@@ -44,6 +51,7 @@ type Stats struct {
 type inflight struct {
 	pkt  *network.Packet
 	done int64
+	nack bool // bounce instead of execute (injected PFU NACK)
 }
 
 type module struct {
@@ -66,7 +74,7 @@ func New(p params.Machine, fwd, rev network.Fabric, data *Store) *Memory {
 	if fwd != nil && fwd.Ports() > p.MemModules {
 		stride = fwd.Ports() / p.MemModules
 	}
-	return &Memory{
+	m := &Memory{
 		p:          p,
 		fwd:        fwd,
 		rev:        rev,
@@ -74,7 +82,30 @@ func New(p params.Machine, fwd, rev network.Fabric, data *Store) *Memory {
 		mods:       make([]module, p.MemModules),
 		portStride: stride,
 	}
+	m.remap()
+	return m
 }
+
+// SetFaults installs a fault injector and remaps interleaving around
+// any dead banks. Call before the first access: remapping moves
+// addresses between modules, so live data does not survive it.
+func (m *Memory) SetFaults(inj *fault.Injector) {
+	m.inj = inj
+	m.remap()
+}
+
+// remap rebuilds the live-module list from the injector's dead set.
+func (m *Memory) remap() {
+	m.live = m.live[:0]
+	for i := range m.mods {
+		if !m.inj.BankDead(i) {
+			m.live = append(m.live, i)
+		}
+	}
+}
+
+// LiveModules returns how many modules are in service.
+func (m *Memory) LiveModules() int { return len(m.live) }
 
 // Name implements sim.Component.
 func (m *Memory) Name() string { return "gmem" }
@@ -112,9 +143,12 @@ func (m *Memory) Modules() int { return len(m.mods) }
 // Store returns the backdoor store.
 func (m *Memory) Store() *Store { return m.data }
 
-// ModuleFor returns the fabric port of the module serving a word address.
+// ModuleFor returns the fabric port of the module serving a word
+// address. With dead banks the interleave narrows to the live modules:
+// the machine degrades in bandwidth instead of faulting on a quarter
+// of its address space.
 func (m *Memory) ModuleFor(addr uint64) int {
-	return int(addr%uint64(m.p.MemModules)) * m.portStride
+	return m.live[int(addr%uint64(len(m.live)))] * m.portStride
 }
 
 // PortOf returns the fabric port of module i.
@@ -135,7 +169,12 @@ func (m *Memory) tickModule(i int, cycle int64) {
 
 	// Retire completed accesses into the reply stage.
 	for len(md.pipe) > 0 && md.pipe[0].done <= cycle && len(md.out) < outCap {
-		md.out = append(md.out, m.execute(md.pipe[0].pkt))
+		f := md.pipe[0]
+		if f.nack {
+			md.out = append(md.out, nackReply(f.pkt))
+		} else {
+			md.out = append(md.out, m.execute(f.pkt))
+		}
 		copy(md.pipe, md.pipe[1:])
 		md.pipe = md.pipe[:len(md.pipe)-1]
 	}
@@ -160,10 +199,18 @@ func (m *Memory) tickModule(i int, cycle int64) {
 	if pkt == nil {
 		return
 	}
-	lat := int64(m.p.MemLatency)
+	lat := int64(m.p.MemLatency) + m.inj.BankStall(i, cycle)
+	nack := false
 	switch pkt.Kind {
 	case network.ReadReq:
-		m.stats.Reads++
+		// A busy module may refuse optional (prefetch) traffic; the
+		// request still occupies an initiation slot but bounces back as
+		// a NACK instead of executing.
+		if pkt.Tag&network.PrefetchTagBit != 0 && m.inj.PFUNack(i, cycle) {
+			nack = true
+		} else {
+			m.stats.Reads++
+		}
 	case network.WriteReq:
 		m.stats.Writes++
 	case network.SyncReq:
@@ -173,8 +220,19 @@ func (m *Memory) tickModule(i int, cycle int64) {
 		panic(fmt.Sprintf("gmem: unexpected packet kind %v at module %d", pkt.Kind, i))
 	}
 	m.fwd.Poll(m.PortOf(i))
-	md.pipe = append(md.pipe, inflight{pkt: pkt, done: cycle + lat})
+	md.pipe = append(md.pipe, inflight{pkt: pkt, done: cycle + lat, nack: nack})
 	md.nextInit = cycle + int64(m.p.MemService)
+}
+
+// nackReply turns a refused prefetch read into its bounce, reusing the
+// packet like execute does.
+func nackReply(req *network.Packet) *network.Packet {
+	reply := req
+	reply.Src, reply.Dst = req.Dst, req.Src
+	reply.Kind = network.NackReply
+	reply.Value = 0
+	reply.TestPassed = false
+	return reply
 }
 
 // execute performs the semantic effect of a request and turns the packet

@@ -3,6 +3,8 @@ package network
 import (
 	"container/heap"
 	"fmt"
+
+	"cedar/internal/fault"
 )
 
 // Crossbar is an idealized single-stage interconnect used for the [Turn93]
@@ -24,6 +26,7 @@ type Crossbar struct {
 	stats    Stats
 	inflight int
 	seq      int64
+	inj      *fault.Injector
 }
 
 // NewCrossbar builds an ideal crossbar with the given minimum transit
@@ -55,6 +58,11 @@ func (c *Crossbar) Stats() Stats { return c.stats }
 
 // Idle implements Fabric.
 func (c *Crossbar) Idle() bool { return c.inflight == 0 }
+
+// SetFaults implements Fabric. The single-stage crossbar maps a stage
+// fault onto its one logical stage: jams add transit latency (there is
+// no queue to block) and drops lose the packet at transit start.
+func (c *Crossbar) SetFaults(inj *fault.Injector) { c.inj = inj }
 
 // Queued implements Fabric: words of every packet not yet polled — the
 // ideal crossbar buffers everything internally.
@@ -96,8 +104,14 @@ func (c *Crossbar) Tick(cycle int64) {
 	for len(c.pending) > 0 {
 		top := &c.pending[0]
 		if top.pkt.readyAt == -1 {
-			// Stamp transit eligibility on first sight.
-			top.pkt.readyAt = cycle + c.latency
+			if droppable(top.pkt) && c.inj.LinkDrop(c.name, 0, top.pkt.Dst, cycle) {
+				heap.Pop(&c.pending)
+				c.inflight--
+				continue
+			}
+			// Stamp transit eligibility on first sight; a jammed stage
+			// shows up as added transit latency.
+			top.pkt.readyAt = cycle + c.latency + c.inj.JamDelay(c.name, 0, top.pkt.Dst, cycle)
 			heap.Fix(&c.pending, 0)
 			continue
 		}

@@ -2,6 +2,8 @@ package network
 
 import (
 	"fmt"
+
+	"cedar/internal/fault"
 )
 
 // Fabric is a unidirectional interconnection network between n ingress
@@ -37,6 +39,9 @@ type Fabric interface {
 	// simulated cycle (ports × stages for a multistage fabric), the
 	// denominator for utilization attribution.
 	Lines() int
+	// SetFaults installs a fault injector consulted on every wire
+	// movement. nil (the default) is the healthy fabric.
+	SetFaults(inj *fault.Injector)
 }
 
 // Stats holds cumulative fabric counters.
@@ -90,6 +95,7 @@ type Omega struct {
 	egressCap int
 	stats     Stats
 	inflight  int
+	inj       *fault.Injector
 	// now is the next cycle this fabric will execute. Offer stamps packets
 	// with it so a packet injected during cycle c takes its first hop at
 	// tick c; Poll uses it so a packet that completed its last hop during
@@ -179,6 +185,9 @@ func (o *Omega) Stats() Stats { return o.stats }
 
 // Idle implements Fabric.
 func (o *Omega) Idle() bool { return o.inflight == 0 }
+
+// SetFaults implements Fabric.
+func (o *Omega) SetFaults(inj *fault.Injector) { o.inj = inj }
 
 // Queued implements Fabric: words buffered in the stage and egress queues.
 func (o *Omega) Queued() int {
@@ -327,12 +336,25 @@ func (o *Omega) tickStage(t int, cycle int64) {
 			if o.outBusy[t][gout] > 0 {
 				continue
 			}
+			if o.inj.StageJam(o.name, t, gout, cycle) {
+				continue // the output wire is jammed this cycle
+			}
 			// Round-robin scan starting after the last winner.
 			start := o.rr[t][gout]
 			for i := 0; i < k; i++ {
 				inp := (start + 1 + i) % k
 				if wantOut[inp] != int8(out) {
 					continue
+				}
+				if h := o.in[t][base+inp].headPkt(); droppable(h) &&
+					o.inj.LinkDrop(o.name, t, gout, cycle) {
+					// The wire eats the packet: it leaves its queue and
+					// never arrives. Only idempotent prefetch reads are
+					// droppable; the PFU reissues the element.
+					o.in[t][base+inp].pop()
+					o.swCount[t][sw]--
+					o.inflight--
+					break
 				}
 				var dst *wordQueue
 				if t == o.stages-1 {

@@ -37,9 +37,12 @@ const (
 	// SyncReply returns the pre-operation value of a synchronization
 	// location together with the test outcome. 1 word.
 	SyncReply
+	// NackReply bounces a prefetch read whose module refused service
+	// (fault injection); the PFU reissues the element. 1 word.
+	NackReply
 )
 
-var kindNames = [...]string{"ReadReq", "WriteReq", "SyncReq", "ReadReply", "WriteAck", "SyncReply"}
+var kindNames = [...]string{"ReadReq", "WriteReq", "SyncReq", "ReadReply", "WriteAck", "SyncReply", "NackReply"}
 
 // String implements fmt.Stringer.
 func (k Kind) String() string {
@@ -62,7 +65,22 @@ func (k Kind) WireWords() int {
 
 // IsReply reports whether the kind travels on the reverse network.
 func (k Kind) IsReply() bool {
-	return k == ReadReply || k == WriteAck || k == SyncReply
+	return k == ReadReply || k == WriteAck || k == SyncReply || k == NackReply
+}
+
+// PrefetchTagBit marks packet tags owned by a prefetch unit. It lives
+// here (rather than in internal/prefetch) because the memory modules
+// and the fault layer must recognize prefetch traffic: PFU reads are
+// the only idempotent, retried packets, so they are the only ones a
+// fault may NACK or drop.
+const PrefetchTagBit = 1 << 31
+
+// droppable reports whether a fault may lose this packet in transit:
+// only prefetch read traffic, which the PFU detects (by NACK or
+// timeout) and reissues. Stores and synchronization operations are
+// never dropped — retrying them would double-apply their side effects.
+func droppable(p *Packet) bool {
+	return p.Tag&PrefetchTagBit != 0 && (p.Kind == ReadReq || p.Kind == ReadReply)
 }
 
 // TestOp is the relational test of a Cedar Test-And-Operate synchronization

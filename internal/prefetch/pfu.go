@@ -21,8 +21,10 @@ import (
 )
 
 // TagBit marks network packet tags owned by a PFU, letting the CE dispatch
-// replies arriving on the shared network port.
-const TagBit = 1 << 31
+// replies arriving on the shared network port. It aliases the network
+// package's definition because the memory modules and fault layer must
+// recognize prefetch traffic too.
+const TagBit = network.PrefetchTagBit
 
 // BlockObserver receives one record per fired prefetch block, mirroring
 // what Cedar's external hardware monitor captured: the cycle the first
@@ -34,6 +36,11 @@ type slot struct {
 	full    bool
 	value   int64
 	arrival int64
+
+	// Retry bookkeeping (used only under fault injection).
+	addr     uint64 // issued physical address, for reissue
+	inflight bool   // a request for this element is in the network
+	tries    int    // reissues so far
 }
 
 // PFU is one CE's prefetch unit.
@@ -65,8 +72,42 @@ type PFU struct {
 
 	consumeIdx int
 
+	// Fault recovery: armed only when the machine's fault plan can
+	// generate recoverable faults (NACKs, link drops). Healthy machines
+	// never touch any of it, so their schedules are bit-identical to a
+	// build without this machinery.
+	retryArmed bool
+	retryQ     []retryEntry // elements awaiting reissue after backoff
+	timeoutQ   []timeoutEntry
+	err        error
+
 	stats Stats
 }
+
+// retryEntry schedules one element reissue no earlier than cycle at.
+type retryEntry struct {
+	idx int
+	at  int64
+}
+
+// timeoutEntry watches one in-flight request. The timeout is uniform,
+// so entries are appended in deadline order and the queue pops from
+// the front; stale entries (the reply arrived, or the element was
+// already NACKed and rescheduled) are skipped on pop.
+type timeoutEntry struct {
+	idx      int
+	deadline int64
+}
+
+// Retry policy: a NACKed or timed-out element is reissued after a
+// deterministic exponential backoff, retryBase cycles doubling per
+// attempt, up to retryMax attempts before the PFU declares the element
+// unreachable and fails the block.
+const (
+	retryBase    = 16
+	retryMax     = 6
+	retryTimeout = 2048 // cycles before an unanswered request is presumed lost
+)
 
 // Stats holds cumulative PFU counters.
 type Stats struct {
@@ -76,6 +117,9 @@ type Stats struct {
 	Dropped    int64 // stale replies discarded after re-arm
 	Suspends   int64 // page-crossing suspensions
 	RefusedCyc int64 // cycles an issue was refused by network back-pressure
+	Nacks      int64 // NACK replies received (fault injection)
+	Timeouts   int64 // requests presumed lost after retryTimeout cycles
+	Retries    int64 // element reissues
 }
 
 // New builds a PFU for the CE on the given forward-network port. modFor
@@ -104,6 +148,15 @@ func (u *PFU) AddObserver(o BlockObserver) {
 // Stats returns cumulative counters.
 func (u *PFU) Stats() Stats { return u.stats }
 
+// ArmRetry enables the NACK/timeout recovery machinery. Machines call
+// it when their fault plan can generate recoverable faults; it stays
+// off otherwise so healthy schedules are untouched.
+func (u *PFU) ArmRetry() { u.retryArmed = true }
+
+// Err returns the terminal fault error, set when an element exhausted
+// its retry budget. The CE surfaces it as a degraded-run result.
+func (u *PFU) Err() error { return u.err }
+
 // Outstanding returns the requests currently in flight to memory — an
 // occupancy gauge for the observability hub.
 func (u *PFU) Outstanding() int { return u.outstanding }
@@ -131,6 +184,9 @@ func (u *PFU) Arm(length int, stride int64, mask []bool) error {
 	u.consumeIdx = 0
 	u.outstanding = 0
 	u.arrivals = u.arrivals[:0]
+	u.retryQ = u.retryQ[:0]
+	u.timeoutQ = u.timeoutQ[:0]
+	u.err = nil
 	for i := range u.buf {
 		u.buf[i] = slot{}
 	}
@@ -173,9 +229,9 @@ func (u *PFU) Resume(addr uint64) {
 }
 
 // Done reports whether every element of the fired block has been issued
-// and returned.
+// and returned (with no reissues still owed).
 func (u *PFU) Done() bool {
-	return !u.fired || (u.issuedIdx >= u.length && u.outstanding == 0)
+	return !u.fired || (u.issuedIdx >= u.length && u.outstanding == 0 && len(u.retryQ) == 0)
 }
 
 // Busy reports whether requests are outstanding or still to issue.
@@ -187,6 +243,15 @@ func (u *PFU) Busy() bool { return u.fired && !u.Done() }
 func (u *PFU) Tick(cycle int64) {
 	if !u.fired || u.suspended {
 		return
+	}
+	if u.retryArmed {
+		u.expireTimeouts(cycle)
+		// Reissues share the single port with fresh issues and go first:
+		// the CE consumes in request order, so the oldest missing element
+		// gates progress.
+		if u.reissue(cycle) {
+			return
+		}
 	}
 	for u.issuedIdx < u.length && u.mask != nil && !u.mask[u.issuedIdx] {
 		// Masked-off elements are never fetched; mark them consumable.
@@ -201,23 +266,10 @@ func (u *PFU) Tick(cycle int64) {
 		return
 	}
 	addr := u.nextAddr
-	pkt := &network.Packet{
-		Kind:  network.ReadReq,
-		Src:   u.port,
-		Dst:   u.modFor(addr),
-		Addr:  addr,
-		Tag:   TagBit | (u.epoch&0x7fff)<<16 | uint32(u.issuedIdx),
-		Issue: cycle,
-	}
-	if !u.fwd.Offer(pkt) {
-		u.stats.RefusedCyc++
+	if !u.issueElement(u.issuedIdx, addr, cycle) {
 		return
 	}
-	if u.firstIssue < 0 {
-		u.firstIssue = cycle
-	}
 	u.stats.Issued++
-	u.outstanding++
 	u.issuedIdx++
 	if u.issuedIdx < u.length {
 		next := uint64(int64(addr) + u.stride)
@@ -227,6 +279,94 @@ func (u *PFU) Tick(cycle int64) {
 		}
 		u.nextAddr = next
 	}
+}
+
+// issueElement offers one element read to the forward network and books
+// the retry state on success.
+func (u *PFU) issueElement(idx int, addr uint64, cycle int64) bool {
+	pkt := &network.Packet{
+		Kind:  network.ReadReq,
+		Src:   u.port,
+		Dst:   u.modFor(addr),
+		Addr:  addr,
+		Tag:   TagBit | (u.epoch&0x7fff)<<16 | uint32(idx),
+		Issue: cycle,
+	}
+	if !u.fwd.Offer(pkt) {
+		u.stats.RefusedCyc++
+		return false
+	}
+	if u.firstIssue < 0 {
+		u.firstIssue = cycle
+	}
+	u.outstanding++
+	s := &u.buf[idx]
+	s.addr = addr
+	s.inflight = true
+	if u.retryArmed {
+		u.timeoutQ = append(u.timeoutQ, timeoutEntry{idx: idx, deadline: cycle + retryTimeout})
+	}
+	return true
+}
+
+// expireTimeouts reschedules in-flight requests presumed lost.
+func (u *PFU) expireTimeouts(cycle int64) {
+	for len(u.timeoutQ) > 0 && u.timeoutQ[0].deadline <= cycle {
+		e := u.timeoutQ[0]
+		copy(u.timeoutQ, u.timeoutQ[1:])
+		u.timeoutQ = u.timeoutQ[:len(u.timeoutQ)-1]
+		s := &u.buf[e.idx]
+		if s.full || !s.inflight {
+			continue // answered, or already NACKed and rescheduled
+		}
+		s.inflight = false
+		u.outstanding--
+		u.stats.Timeouts++
+		u.scheduleRetry(e.idx, cycle)
+	}
+}
+
+// reissue sends the first due retry; it reports whether the port was
+// consumed (by a reissue or its refusal).
+func (u *PFU) reissue(cycle int64) bool {
+	for qi := range u.retryQ {
+		e := u.retryQ[qi]
+		if e.at > cycle {
+			continue
+		}
+		if u.buf[e.idx].full {
+			// The "lost" reply arrived after all; drop the retry.
+			copy(u.retryQ[qi:], u.retryQ[qi+1:])
+			u.retryQ = u.retryQ[:len(u.retryQ)-1]
+			return false
+		}
+		if u.outstanding >= u.p.PFUMaxOutstanding {
+			return false
+		}
+		if !u.issueElement(e.idx, u.buf[e.idx].addr, cycle) {
+			return true // port refused; retry stays queued
+		}
+		u.stats.Retries++
+		copy(u.retryQ[qi:], u.retryQ[qi+1:])
+		u.retryQ = u.retryQ[:len(u.retryQ)-1]
+		return true
+	}
+	return false
+}
+
+// scheduleRetry books an element reissue after exponential backoff, or
+// fails the block when the retry budget is exhausted.
+func (u *PFU) scheduleRetry(idx int, cycle int64) {
+	s := &u.buf[idx]
+	s.tries++
+	if s.tries > retryMax {
+		u.err = fmt.Errorf("prefetch: element %d unreachable after %d retries (addr %#x)",
+			idx, retryMax, s.addr)
+		u.fired = false // give up the block; Busy() turns false
+		return
+	}
+	backoff := int64(retryBase) << (s.tries - 1)
+	u.retryQ = append(u.retryQ, retryEntry{idx: idx, at: cycle + backoff})
 }
 
 // Deliver hands the PFU a reply polled from the reverse network by its CE.
@@ -242,6 +382,18 @@ func (u *PFU) Deliver(pkt *network.Packet, cycle int64) bool {
 		return true
 	}
 	s := &u.buf[idx]
+	if pkt.Kind == network.NackReply {
+		// The module refused service; back off and reissue.
+		if s.full || !s.inflight {
+			u.stats.Dropped++ // the element already made it another way
+			return true
+		}
+		s.inflight = false
+		u.outstanding--
+		u.stats.Nacks++
+		u.scheduleRetry(idx, cycle)
+		return true
+	}
 	if s.full {
 		u.stats.Dropped++
 		return true
@@ -249,7 +401,10 @@ func (u *PFU) Deliver(pkt *network.Packet, cycle int64) bool {
 	s.full = true
 	s.value = pkt.Value
 	s.arrival = cycle
-	u.outstanding--
+	if s.inflight {
+		s.inflight = false
+		u.outstanding--
+	}
 	u.stats.Returned++
 	u.arrivals = append(u.arrivals, cycle)
 	return true

@@ -131,3 +131,54 @@ func TestForkInheritsPrefix(t *testing.T) {
 		t.Errorf("adopted metric = %+v, want one sweep/runs", got)
 	}
 }
+
+// TestForkAdoptBothChildrenAtCap pins the drop arithmetic when every
+// party is saturated: two forked children each fill past the span cap
+// before adoption. Conservation must hold exactly — every posted span is
+// either kept by the parent or counted dropped exactly once (child-side
+// drops carry over verbatim; child-kept spans rejected by the full
+// parent are counted by the parent's own bound) — so a double count or
+// a lost count both fail.
+func TestForkAdoptBothChildrenAtCap(t *testing.T) {
+	const (
+		capSpans    = 4
+		perChild    = capSpans + 2 // each child drops 2 itself
+		children    = 2
+		totalPosted = children * perChild
+	)
+	parent := NewHub()
+	parent.SetTraceCap(capSpans)
+
+	kids := make([]*Hub, children)
+	for c := range kids {
+		kids[c] = parent.Fork()
+		for s := 0; s < perChild; s++ {
+			kids[c].Span("t", "s", int64(c*100+s), int64(c*100+s+1))
+		}
+		if got := len(kids[c].Spans()); got != capSpans {
+			t.Fatalf("child %d kept %d spans, want %d (at cap)", c, got, capSpans)
+		}
+		if got := kids[c].TraceDropped(); got != perChild-capSpans {
+			t.Fatalf("child %d dropped %d, want %d", c, got, perChild-capSpans)
+		}
+	}
+	for _, c := range kids {
+		parent.Adopt(c)
+	}
+
+	if got := len(parent.Spans()); got != capSpans {
+		t.Errorf("parent kept %d spans, want %d", got, capSpans)
+	}
+	// The first child's kept spans fill the parent; everything else is a
+	// drop: 2 (child 0) + 2 (child 1) + 4 (child 1's kept spans bounced
+	// off the full parent) = posted - kept.
+	if got, want := parent.TraceDropped(), int64(totalPosted-capSpans); got != want {
+		t.Errorf("parent dropped = %d, want %d (each loss counted exactly once)", got, want)
+	}
+	// The kept spans are the first child's, in posting order.
+	for i, s := range parent.Spans() {
+		if want := (Span{Track: "t", Name: "s", Start: int64(i), End: int64(i + 1)}); s != want {
+			t.Errorf("span %d = %+v, want %+v", i, s, want)
+		}
+	}
+}

@@ -265,3 +265,140 @@ func TestFastForwardRespectsLimit(t *testing.T) {
 		t.Errorf("cycle = %d, want 50 (fast-forward must clamp to the limit)", e.Cycle())
 	}
 }
+
+// wakeOnce is a Sleeper with exactly one effective tick, at cycle at.
+// It is the minimal probe for the fast-forward/limit boundary: whether
+// a wake landing on, just before, or just after the RunUntil deadline
+// behaves identically to a stepped run.
+type wakeOnce struct {
+	id    string
+	at    int64
+	fired bool
+	ticks []int64
+}
+
+func (w *wakeOnce) Name() string { return w.id }
+func (w *wakeOnce) Tick(cycle int64) {
+	if cycle == w.at {
+		w.fired = true
+		w.ticks = append(w.ticks, cycle)
+	}
+}
+func (w *wakeOnce) Idle() bool { return w.fired }
+func (w *wakeOnce) NextWakeup(now int64) int64 {
+	if w.fired || now >= w.at {
+		return now
+	}
+	return w.at
+}
+
+// hiddenWake strips the Sleeper interface off a wakeOnce so the same
+// workload can run fully stepped.
+type hiddenWake struct{ w *wakeOnce }
+
+func (h hiddenWake) Name() string     { return h.w.Name() }
+func (h hiddenWake) Tick(cycle int64) { h.w.Tick(cycle) }
+func (h hiddenWake) Idle() bool       { return h.w.Idle() }
+
+// TestFastForwardWakeOnLimitBoundary pins the boundary semantics of the
+// fast-forward clamp: a wakeup exactly at the deadline (or past it) must
+// time out at exactly the limit, and a wakeup one cycle inside must
+// complete — in both cases agreeing with the stepped run cycle for
+// cycle.
+func TestFastForwardWakeOnLimitBoundary(t *testing.T) {
+	const limit = 50
+	cases := []struct {
+		name     string
+		wake     int64
+		wantErr  bool
+		wantTick bool
+	}{
+		// The deadline cycle itself is never executed: RunUntil checks
+		// the budget before stepping, so a wake at start+limit times out.
+		{"wake exactly on limit", limit, true, false},
+		{"wake one inside limit", limit - 1, false, true},
+		{"wake one past limit", limit + 1, true, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func(fastForward bool) (*wakeOnce, *Engine, error) {
+				w := &wakeOnce{id: "wake", at: tc.wake}
+				e := New()
+				if fastForward {
+					e.Register(w)
+				} else {
+					e.Register(hiddenWake{w})
+				}
+				return w, e, e.RunUntilIdle(limit)
+			}
+			fw, fe, ferr := run(true)
+			sw, se, serr := run(false)
+
+			if gotErr := errors.Is(ferr, ErrCycleLimit); gotErr != tc.wantErr {
+				t.Fatalf("fast-forwarded: err = %v, want cycle-limit %v", ferr, tc.wantErr)
+			}
+			if gotErr := errors.Is(serr, ErrCycleLimit); gotErr != tc.wantErr {
+				t.Fatalf("stepped: err = %v, want cycle-limit %v", serr, tc.wantErr)
+			}
+			if fe.Cycle() != se.Cycle() {
+				t.Errorf("fast-forwarded ended at cycle %d, stepped at %d", fe.Cycle(), se.Cycle())
+			}
+			wantCycle := int64(limit)
+			if !tc.wantErr {
+				wantCycle = tc.wake + 1 // the effective tick's cycle completes
+			}
+			if fe.Cycle() != wantCycle {
+				t.Errorf("ended at cycle %d, want %d", fe.Cycle(), wantCycle)
+			}
+			if fw.fired != tc.wantTick || sw.fired != tc.wantTick {
+				t.Errorf("fired: fast-forwarded %v, stepped %v, want %v", fw.fired, sw.fired, tc.wantTick)
+			}
+			if tc.wantTick && (len(fw.ticks) != 1 || fw.ticks[0] != tc.wake) {
+				t.Errorf("effective ticks %v, want exactly [%d]", fw.ticks, tc.wake)
+			}
+			if tc.wake >= limit && fe.FastForwarded() != limit {
+				// The clamp must deliver the engine to the deadline in one
+				// skip, not overshoot it.
+				t.Errorf("fast-forwarded %d cycles, want %d (clamped to deadline)", fe.FastForwarded(), limit)
+			}
+		})
+	}
+}
+
+// TestFastForwardWakeBoundaryMidRun repeats the boundary check with a
+// non-zero start cycle, so the deadline arithmetic (start+limit, not
+// absolute limit) is what is actually pinned.
+func TestFastForwardWakeBoundaryMidRun(t *testing.T) {
+	const warmup, limit = 7, 20
+	mk := func(wake int64) (*wakeOnce, *Engine) {
+		w := &wakeOnce{id: "wake", at: wake}
+		e := New()
+		e.Register(w)
+		e.Run(warmup) // the wake is still ahead; these are no-op ticks
+		return w, e
+	}
+
+	// Wake at start+limit: times out at exactly start+limit.
+	w, e := mk(warmup + limit)
+	if err := e.RunUntilIdle(limit); !errors.Is(err, ErrCycleLimit) {
+		t.Fatalf("err = %v, want ErrCycleLimit", err)
+	}
+	if e.Cycle() != warmup+limit {
+		t.Errorf("cycle = %d, want %d", e.Cycle(), warmup+limit)
+	}
+	if w.fired {
+		t.Error("component fired on the deadline cycle, which must not execute")
+	}
+
+	// Wake at start+limit-1: completes with the tick on its exact cycle.
+	w, e = mk(warmup + limit - 1)
+	if err := e.RunUntilIdle(limit); err != nil {
+		t.Fatalf("RunUntilIdle: %v", err)
+	}
+	if !w.fired || len(w.ticks) != 1 || w.ticks[0] != warmup+limit-1 {
+		t.Errorf("ticks = %v, want [%d]", w.ticks, warmup+limit-1)
+	}
+	if e.Cycle() != warmup+limit {
+		t.Errorf("cycle = %d, want %d", e.Cycle(), warmup+limit)
+	}
+}

@@ -30,9 +30,10 @@ go test -race ./...
 echo "==> cedarfleet parallel-vs-sequential equality (-race, pool enabled)"
 # The worker pool must be invisible: -jobs 8 and -jobs 1 byte-identical
 # report/JSON/trace/metrics, with the detector watching the real parallel
-# execution. -count=1 defeats the test cache so the gate always exercises
-# the pool.
-go test -race -count=1 -run '^TestParallelVsSequentialEquality$' .
+# execution — for healthy runs and for fault-injected (cedarfault)
+# degraded runs alike. -count=1 defeats the test cache so the gate always
+# exercises the pool.
+go test -race -count=1 -run '^(TestParallelVsSequentialEquality|TestFaultedRunDeterministic)$' .
 
 echo "==> fuzz smoke ($FUZZTIME per target)"
 go test -run='^$' -fuzz='^FuzzOmegaRouting$' -fuzztime="$FUZZTIME" ./internal/network
