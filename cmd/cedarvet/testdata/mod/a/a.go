@@ -1,0 +1,7 @@
+// Package a exists to give cedarvet a deterministic nonzero finding
+// set: it is not in the cedar layer DAG, so the layering check reports
+// it.
+package a
+
+// V keeps the package non-empty.
+const V = 1

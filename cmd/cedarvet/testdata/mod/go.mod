@@ -1,0 +1,3 @@
+module vetdemo
+
+go 1.22

@@ -20,11 +20,21 @@ import (
 // invalidTag marks an empty cache frame.
 const invalidTag = ^uint64(0)
 
+// Sink receives word-access completions. Completions carry the
+// submitter's tag instead of a per-request closure so that the CE's
+// per-cycle submissions allocate nothing (the CE encodes which operation
+// and element the access belongs to in the tag and implements CacheDone
+// once).
+type Sink interface {
+	CacheDone(tag uint64, cycle int64)
+}
+
 type request struct {
 	addr  uint64
 	write bool
 	value int64
-	done  func(cycle int64)
+	sink  Sink
+	tag   uint64
 }
 
 type frame struct {
@@ -49,19 +59,21 @@ type Cache struct {
 	ways      int
 	clock     int64 // LRU stamp source
 
-	frames  []frame
-	queues  [][]request
-	missOut []int
-	mshrs   map[uint64]*mshr
-	rr      int
+	frames   []frame
+	queues   [][]request
+	missOut  []int
+	mshrs    map[uint64]*mshr
+	mshrFree []*mshr // retired entries, reused so misses stop allocating
+	rr       int
 
 	firing []firing
 	stats  Stats
 }
 
 type firing struct {
-	at int64
-	f  func(int64)
+	at   int64
+	sink Sink
+	tag  uint64
 }
 
 // Stats holds cumulative cache counters.
@@ -74,6 +86,8 @@ type Stats struct {
 }
 
 // New builds the cache for nCE client CEs over the given cluster memory.
+// Panics if the parameterised geometry is degenerate (a line smaller
+// than a word, or fewer lines than ways).
 func New(p params.Machine, nCE int, mem *cmem.Memory) *Cache {
 	lineWords := uint64(p.CacheLineBytes / params.WordBytes)
 	if lineWords == 0 {
@@ -125,17 +139,19 @@ func (c *Cache) QueuedRequests() int {
 	return n
 }
 
-// Submit enqueues a word access for a CE. done fires when the word is
-// available (reads) or accepted (writes). It returns false when the CE's
-// queue is full; the caller retries next cycle.
-func (c *Cache) Submit(ce int, addr uint64, write bool, value int64, done func(cycle int64)) bool {
+// Submit enqueues a word access for a CE. sink.CacheDone(tag, cycle)
+// fires when the word is available (reads) or accepted (writes); sink may
+// be nil for fire-and-forget stores. It returns false when the CE's queue
+// is full; the caller retries next cycle. Panics if ce is out of range —
+// a wiring bug, not a runtime condition.
+func (c *Cache) Submit(ce int, addr uint64, write bool, value int64, sink Sink, tag uint64) bool {
 	if ce < 0 || ce >= c.nCE {
 		panic(fmt.Sprintf("cache: CE %d out of range", ce))
 	}
 	if len(c.queues[ce]) >= queueCap {
 		return false
 	}
-	c.queues[ce] = append(c.queues[ce], request{addr: addr, write: write, value: value, done: done})
+	c.queues[ce] = append(c.queues[ce], request{addr: addr, write: write, value: value, sink: sink, tag: tag})
 	return true
 }
 
@@ -196,7 +212,7 @@ func (c *Cache) Tick(cycle int64) {
 		keep := c.firing[:0]
 		for _, f := range c.firing {
 			if f.at <= cycle {
-				f.f(cycle)
+				f.sink.CacheDone(f.tag, cycle)
 			} else {
 				keep = append(keep, f)
 			}
@@ -230,8 +246,6 @@ func (c *Cache) serveHead(ce int, cycle int64) bool {
 	line := r.addr / c.lineWords
 	c.clock++
 
-	pop := func() { c.queues[ce] = q[1:] }
-
 	if fr := c.lookup(line); fr != nil {
 		// Hit.
 		c.stats.Hits++
@@ -239,13 +253,13 @@ func (c *Cache) serveHead(ce int, cycle int64) bool {
 		if r.write {
 			fr.dirty = true
 			c.mem.Store().StoreWord(r.addr, r.value)
-			if r.done != nil {
-				c.firing = append(c.firing, firing{at: cycle, f: r.done})
+			if r.sink != nil {
+				c.firing = append(c.firing, firing{at: cycle, sink: r.sink, tag: r.tag})
 			}
-		} else if r.done != nil {
-			c.firing = append(c.firing, firing{at: cycle + int64(c.p.CacheHitLatency), f: r.done})
+		} else if r.sink != nil {
+			c.firing = append(c.firing, firing{at: cycle + int64(c.p.CacheHitLatency), sink: r.sink, tag: r.tag})
 		}
-		pop()
+		c.queues[ce] = q[1:]
 		return true
 	}
 
@@ -253,7 +267,7 @@ func (c *Cache) serveHead(ce int, cycle int64) bool {
 		// Fold into the in-flight fill.
 		c.stats.MissAttach++
 		m.waiting = append(m.waiting, r)
-		pop()
+		c.queues[ce] = q[1:]
 		return true
 	}
 
@@ -263,22 +277,46 @@ func (c *Cache) serveHead(ce int, cycle int64) bool {
 	}
 	c.stats.Misses++
 	c.missOut[ce]++
-	m := &mshr{owner: ce, waiting: []request{r}}
+	m := c.getMSHR()
+	m.owner = ce
+	m.waiting = append(m.waiting, r)
 	c.mshrs[line] = m
-	pop()
+	c.queues[ce] = q[1:]
 
 	// Evict the set's LRU occupant (write-back if dirty) and fetch.
 	fr := c.victim(line)
 	if fr.tag != invalidTag && fr.dirty {
 		c.stats.WriteBacks++
-		c.mem.Submit(int(c.lineWords), nil)
+		c.mem.Submit(int(c.lineWords), nil, 0)
 	}
 	fr.tag = invalidTag
 	fr.dirty = false
-	c.mem.Submit(int(c.lineWords), func(fillCycle int64) {
-		c.fill(line, fillCycle)
-	})
+	// The cache itself is the fill sink: the tag carries the line, so no
+	// per-miss closure is needed.
+	c.mem.Submit(int(c.lineWords), c, line)
 	return true
+}
+
+// FillDone implements cmem.Sink: a line fetch submitted with the line
+// address as tag has completed.
+func (c *Cache) FillDone(tag uint64, cycle int64) { c.fill(tag, cycle) }
+
+// getMSHR reuses a retired miss entry or makes a new one.
+func (c *Cache) getMSHR() *mshr {
+	if n := len(c.mshrFree); n > 0 {
+		m := c.mshrFree[n-1]
+		c.mshrFree[n-1] = nil
+		c.mshrFree = c.mshrFree[:n-1]
+		return m
+	}
+	return &mshr{} //lint:allow hotalloc pool refill on first use; steady state reuses retired MSHRs
+}
+
+// putMSHR retires a completed miss entry for reuse.
+func (c *Cache) putMSHR(m *mshr) {
+	m.owner = 0
+	m.waiting = m.waiting[:0]
+	c.mshrFree = append(c.mshrFree, m)
 }
 
 // fill completes a line fetch: installs the tag and releases waiters.
@@ -298,11 +336,12 @@ func (c *Cache) fill(line uint64, cycle int64) {
 		if r.write {
 			fr.dirty = true
 			c.mem.Store().StoreWord(r.addr, r.value)
-			if r.done != nil {
-				c.firing = append(c.firing, firing{at: cycle, f: r.done})
+			if r.sink != nil {
+				c.firing = append(c.firing, firing{at: cycle, sink: r.sink, tag: r.tag})
 			}
-		} else if r.done != nil {
-			c.firing = append(c.firing, firing{at: cycle + int64(c.p.CacheHitLatency), f: r.done})
+		} else if r.sink != nil {
+			c.firing = append(c.firing, firing{at: cycle + int64(c.p.CacheHitLatency), sink: r.sink, tag: r.tag})
 		}
 	}
+	c.putMSHR(m)
 }

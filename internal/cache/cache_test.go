@@ -7,6 +7,12 @@ import (
 	"cedar/internal/params"
 )
 
+// doneFunc adapts a completion closure to the cache's Sink interface so
+// tests can keep asserting on completion cycles.
+type doneFunc func(cy int64)
+
+func (f doneFunc) CacheDone(_ uint64, cy int64) { f(cy) }
+
 type rig struct {
 	p     params.Machine
 	mem   *cmem.Memory
@@ -40,7 +46,7 @@ func (r *rig) runUntilIdle(t *testing.T, limit int) {
 func TestMissThenHit(t *testing.T) {
 	r := newRig()
 	var missDone, hitDone int64 = -1, -1
-	if !r.c.Submit(0, 100, false, 0, func(cy int64) { missDone = cy }) {
+	if !r.c.Submit(0, 100, false, 0, doneFunc(func(cy int64) { missDone = cy }), 0) {
 		t.Fatal("submit refused")
 	}
 	r.runUntilIdle(t, 1000)
@@ -55,7 +61,7 @@ func TestMissThenHit(t *testing.T) {
 		t.Error("line not resident after fill")
 	}
 	start := r.cycle
-	r.c.Submit(0, 101, false, 0, func(cy int64) { hitDone = cy }) // same 4-word line
+	r.c.Submit(0, 101, false, 0, doneFunc(func(cy int64) { hitDone = cy }), 0) // same 4-word line
 	r.runUntilIdle(t, 1000)
 	if hitDone < 0 {
 		t.Fatal("hit never completed")
@@ -71,7 +77,7 @@ func TestMissThenHit(t *testing.T) {
 
 func TestWriteReadThroughStore(t *testing.T) {
 	r := newRig()
-	ok := r.c.Submit(2, 555, true, 42, nil)
+	ok := r.c.Submit(2, 555, true, 42, nil, 0)
 	if !ok {
 		t.Fatal("refused")
 	}
@@ -80,7 +86,7 @@ func TestWriteReadThroughStore(t *testing.T) {
 		t.Fatalf("store = %d, want 42", got)
 	}
 	var got int64
-	r.c.Submit(3, 555, false, 0, func(int64) { got = r.mem.Store().Load(555) })
+	r.c.Submit(3, 555, false, 0, doneFunc(func(int64) { got = r.mem.Store().Load(555) }), 0)
 	r.runUntilIdle(t, 1000)
 	if got != 42 {
 		t.Fatalf("read %d, want 42", got)
@@ -92,7 +98,7 @@ func TestMissesFoldIntoMSHR(t *testing.T) {
 	done := 0
 	for i := 0; i < 4; i++ {
 		addr := uint64(200 + i) // same 32-byte line (4 words)
-		if !r.c.Submit(i%2, addr, false, 0, func(int64) { done++ }) {
+		if !r.c.Submit(i%2, addr, false, 0, doneFunc(func(int64) { done++ }), 0) {
 			t.Fatal("refused")
 		}
 	}
@@ -116,7 +122,7 @@ func TestLockupFreeTwoMissesPerCE(t *testing.T) {
 	var times []int64
 	for i := 0; i < 3; i++ {
 		addr := uint64(i * 1024)
-		if !r.c.Submit(0, addr, false, 0, func(cy int64) { times = append(times, cy) }) {
+		if !r.c.Submit(0, addr, false, 0, doneFunc(func(cy int64) { times = append(times, cy) }), 0) {
 			t.Fatal("refused")
 		}
 	}
@@ -144,12 +150,12 @@ func TestDirtyEvictionWritesBack(t *testing.T) {
 			step()
 		}
 	}
-	c.Submit(0, 0, true, 7, nil) // dirty line 0
+	c.Submit(0, 0, true, 7, nil, 0) // dirty line 0
 	run()
 	// Line 4*lineWords maps to the same frame in a 4-line cache.
 	conflict := uint64(4 * (p.CacheLineBytes / 8) * 4)
 	_ = conflict
-	c.Submit(0, uint64(4*4), false, 0, nil) // line index 4 -> frame 0
+	c.Submit(0, uint64(4*4), false, 0, nil, 0) // line index 4 -> frame 0
 	run()
 	if c.Stats().WriteBacks != 1 {
 		t.Errorf("write-backs = %d, want 1", c.Stats().WriteBacks)
@@ -163,7 +169,7 @@ func TestQueueBackPressure(t *testing.T) {
 	r := newRig()
 	n := 0
 	for i := 0; ; i++ {
-		if !r.c.Submit(0, uint64(i), false, 0, nil) {
+		if !r.c.Submit(0, uint64(i), false, 0, nil, 0) {
 			break
 		}
 		n++
@@ -175,7 +181,7 @@ func TestQueueBackPressure(t *testing.T) {
 		t.Errorf("accepted %d before refusing, want %d", n, queueCap)
 	}
 	r.runUntilIdle(t, 10000)
-	if !r.c.Submit(0, 0, false, 0, nil) {
+	if !r.c.Submit(0, 0, false, 0, nil, 0) {
 		t.Error("still refusing after drain")
 	}
 	r.runUntilIdle(t, 1000)
@@ -186,7 +192,7 @@ func TestBandwidthEightWordsPerCycle(t *testing.T) {
 	r := newRig()
 	// Warm one line per CE region, then stream hits.
 	for ce := 0; ce < 8; ce++ {
-		r.c.Submit(ce, uint64(ce*4), false, 0, nil)
+		r.c.Submit(ce, uint64(ce*4), false, 0, nil, 0)
 	}
 	r.runUntilIdle(t, 1000)
 	done := 0
@@ -199,7 +205,7 @@ func TestBandwidthEightWordsPerCycle(t *testing.T) {
 			ce := ce
 			if issued[ce] < perCE && pending[ce] < queueCap {
 				addr := uint64(ce*4) + uint64(issued[ce]%4)
-				if r.c.Submit(ce, addr, false, 0, func(int64) { done++; pending[ce]-- }) {
+				if r.c.Submit(ce, addr, false, 0, doneFunc(func(int64) { done++; pending[ce]-- }), 0) {
 					issued[ce]++
 					pending[ce]++
 				}
@@ -219,7 +225,7 @@ func TestBandwidthEightWordsPerCycle(t *testing.T) {
 
 func TestSingleCECappedAtTwoWordsPerCycle(t *testing.T) {
 	r := newRig()
-	r.c.Submit(0, 0, false, 0, nil)
+	r.c.Submit(0, 0, false, 0, nil, 0)
 	r.runUntilIdle(t, 1000)
 	done := 0
 	issued := 0
@@ -228,7 +234,7 @@ func TestSingleCECappedAtTwoWordsPerCycle(t *testing.T) {
 	const n = 100
 	for done < n {
 		if issued < n && pendingCount < queueCap {
-			if r.c.Submit(0, uint64(issued%4), false, 0, func(int64) { done++; pendingCount-- }) {
+			if r.c.Submit(0, uint64(issued%4), false, 0, doneFunc(func(int64) { done++; pendingCount-- }), 0) {
 				issued++
 				pendingCount++
 			}
@@ -267,9 +273,9 @@ func TestSetAssociativityAvoidsConflictMisses(t *testing.T) {
 		a := uint64(0)
 		b := sets * lineWords // same set as a, different tag
 		for rep := 0; rep < 10; rep++ {
-			c.Submit(0, a, false, 0, nil)
+			c.Submit(0, a, false, 0, nil, 0)
 			run()
-			c.Submit(0, b, false, 0, nil)
+			c.Submit(0, b, false, 0, nil, 0)
 			run()
 		}
 		return c.Stats().Misses
@@ -302,7 +308,7 @@ func TestLRUWithinSet(t *testing.T) {
 	lw := uint64(p.CacheLineBytes / 8)
 	a, b, cc := uint64(0), 1*lw, 2*lw
 	for _, addr := range []uint64{a, b, a, cc} {
-		c.Submit(0, addr, false, 0, nil)
+		c.Submit(0, addr, false, 0, nil, 0)
 		run()
 	}
 	if !c.Contains(a) {

@@ -34,6 +34,12 @@ type CE struct {
 	modFor func(uint64) int
 	ctrl   Controller
 
+	// pool recycles this CE's packets. Requests return to the issuing
+	// port as in-place replies, so the consumer in drainReplies retires
+	// them straight back here; the PFU shares the pool because it issues
+	// on the same port.
+	pool network.PacketPool
+
 	cur *Instr
 
 	// Scalar execution.
@@ -108,7 +114,7 @@ func New(p params.Machine, id, clusterID, idInCluster, port int,
 		cache:       cch,
 		modFor:      modFor,
 	}
-	c.pfu = prefetch.New(p, port, fwd, modFor)
+	c.pfu = prefetch.New(p, port, fwd, modFor, &c.pool)
 	return c
 }
 
@@ -134,7 +140,7 @@ func (c *CE) fail(err error, cycle int64) {
 	if c.failErr != nil {
 		return
 	}
-	c.failErr = fmt.Errorf("ce%d: %w", c.ID, err)
+	c.failErr = fmt.Errorf("ce%d: %w", c.ID, err) //lint:allow hotalloc terminal fault path, runs at most once per CE per run
 	c.cur = nil
 	c.finished = true
 	c.doneAt = cycle
@@ -233,6 +239,9 @@ func (c *CE) retire(cycle int64) {
 	// Allow back-to-back fetch next tick (1-cycle issue overhead).
 }
 
+// execute advances the current instruction by one cycle. Panics on an
+// unknown opcode — a corrupt program is a controller bug, not a runtime
+// condition a simulation should survive.
 func (c *CE) execute(cycle int64) {
 	switch c.cur.Op {
 	case OpScalar:
@@ -249,13 +258,18 @@ func (c *CE) execute(cycle int64) {
 		c.execScalarGlobal(cycle)
 
 	case OpGlobalStore:
-		pkt := &network.Packet{
-			Kind: network.WriteReq, Src: c.Port, Dst: c.modFor(c.cur.Addr),
-			Addr: c.cur.Addr, Value: c.cur.Value,
-			Tag: tagKindStore, Issue: cycle,
-		}
+		pkt := c.pool.Get()
+		pkt.Kind = network.WriteReq
+		pkt.Src = c.Port
+		pkt.Dst = c.modFor(c.cur.Addr)
+		pkt.Addr = c.cur.Addr
+		pkt.Value = c.cur.Value
+		pkt.Tag = tagKindStore
+		pkt.Issue = cycle
 		if c.offerStore(pkt) {
 			c.retire(cycle)
+		} else {
+			c.pool.Put(pkt)
 		}
 
 	case OpFence:
@@ -267,10 +281,7 @@ func (c *CE) execute(cycle int64) {
 		if !c.started {
 			c.started = true
 			c.scalarBack = false
-			ok := c.cache.Submit(c.IDInCluster, c.cur.Addr, false, 0, func(at int64) {
-				c.scalarBack = true
-				c.scalarDoneAt = at
-			})
+			ok := c.cache.Submit(c.IDInCluster, c.cur.Addr, false, 0, c, tagKindLoad)
 			if !ok {
 				c.started = false
 			}
@@ -282,7 +293,7 @@ func (c *CE) execute(cycle int64) {
 		}
 
 	case OpClusterStore:
-		if c.cache.Submit(c.IDInCluster, c.cur.Addr, true, c.cur.Value, nil) {
+		if c.cache.Submit(c.IDInCluster, c.cur.Addr, true, c.cur.Value, nil, 0) {
 			c.retire(cycle)
 		}
 
@@ -300,23 +311,27 @@ func (c *CE) execute(cycle int64) {
 
 func (c *CE) execScalarGlobal(cycle int64) {
 	if !c.issuedScalar {
-		var pkt *network.Packet
+		pkt := c.pool.Get()
+		pkt.Src = c.Port
+		pkt.Dst = c.modFor(c.cur.Addr)
+		pkt.Addr = c.cur.Addr
+		pkt.Issue = cycle
 		if c.cur.Op == OpSync {
-			pkt = &network.Packet{
-				Kind: network.SyncReq, Src: c.Port, Dst: c.modFor(c.cur.Addr),
-				Addr: c.cur.Addr, Value: c.cur.Value,
-				Test: c.cur.Test, Mut: c.cur.Mut, TestArg: c.cur.TestArg,
-				Tag: tagKindSync, Issue: cycle,
-			}
+			pkt.Kind = network.SyncReq
+			pkt.Value = c.cur.Value
+			pkt.Test = c.cur.Test
+			pkt.Mut = c.cur.Mut
+			pkt.TestArg = c.cur.TestArg
+			pkt.Tag = tagKindSync
 		} else {
-			pkt = &network.Packet{
-				Kind: network.ReadReq, Src: c.Port, Dst: c.modFor(c.cur.Addr),
-				Addr: c.cur.Addr, Tag: tagKindLoad, Issue: cycle,
-			}
+			pkt.Kind = network.ReadReq
+			pkt.Tag = tagKindLoad
 		}
 		if c.fwd.Offer(pkt) {
 			c.issuedScalar = true
 			c.scalarBack = false
+		} else {
+			c.pool.Put(pkt)
 		}
 		return
 	}
@@ -334,6 +349,10 @@ func (c *CE) execScalarGlobal(cycle int64) {
 // Returning prefetch words land in the 512-word prefetch buffer and other
 // replies in dedicated registers, so the port drains without back-pressure
 // (the CE-side transfer time is modeled as availability delay instead).
+// Consumed packets retire to the CE's pool — a reply is the rewritten
+// request, so this port is the end of the packet lifecycle. Panics on a
+// reply tag no unit claims: that is a routing bug, not a runtime
+// condition.
 func (c *CE) drainReplies(cycle int64) {
 	for {
 		pkt := c.rev.Poll(c.Port)
@@ -341,6 +360,7 @@ func (c *CE) drainReplies(cycle int64) {
 			return
 		}
 		if c.pfu.Deliver(pkt, cycle) {
+			c.pool.Put(pkt)
 			continue
 		}
 		switch pkt.Tag & tagKindMask {
@@ -366,6 +386,30 @@ func (c *CE) drainReplies(cycle int64) {
 			}
 		default:
 			panic(fmt.Sprintf("ce%d: unmatched reply %v", c.ID, pkt))
+		}
+		c.pool.Put(pkt)
+	}
+}
+
+// CacheDone implements cache.Sink: a cluster-cache access submitted by
+// this CE completed at cycle at. The tag's kind bits name the operation
+// that issued it; vector tags carry the stream and element like their
+// global-memory counterparts.
+func (c *CE) CacheDone(tag uint64, at int64) {
+	switch uint32(tag) & tagKindMask {
+	case tagKindLoad:
+		c.scalarBack = true
+		c.scalarDoneAt = at
+	case tagKindVec:
+		si := int(tag>>16) & 0xfff
+		el := int(tag & 0xffff)
+		vs := &c.vec
+		if si < len(vs.streams) {
+			st := &vs.streams[si]
+			if el < len(st.avail) {
+				st.avail[el] = at
+			}
+			st.clusterInFlight--
 		}
 	}
 }
@@ -394,11 +438,18 @@ const storePendingCap = 8
 
 // offerVecStore issues one vector-element global store.
 func (c *CE) offerVecStore(addr uint64, cycle int64) bool {
-	pkt := &network.Packet{
-		Kind: network.WriteReq, Src: c.Port, Dst: c.modFor(addr),
-		Addr: addr, Tag: tagKindStore, Issue: cycle,
+	pkt := c.pool.Get()
+	pkt.Kind = network.WriteReq
+	pkt.Src = c.Port
+	pkt.Dst = c.modFor(addr)
+	pkt.Addr = addr
+	pkt.Tag = tagKindStore
+	pkt.Issue = cycle
+	if c.offerStore(pkt) {
+		return true
 	}
-	return c.offerStore(pkt)
+	c.pool.Put(pkt)
+	return false
 }
 
 func (c *CE) retryStores() {

@@ -6,32 +6,49 @@ import (
 	"cedar/internal/network"
 )
 
-// startVector initializes stream state for the current OpVector.
+// startVector initializes stream state for the current OpVector. The
+// stream and availability slices are reused across instructions: they
+// grow once to the widest vector the program issues and then stay put,
+// keeping this per-instruction path off the allocator. Panics if the
+// instruction is malformed (N < 1, an unprefetched memory stream longer
+// than the 16-bit element tag space, prefetch on a non-global stream, or
+// more than one prefetched stream) — controller bugs, not runtime
+// conditions.
 func (c *CE) startVector(cycle int64) {
 	in := c.cur
 	if in.N < 1 {
 		panic("ce: vector with N < 1")
 	}
 	vs := &c.vec
+	streams := vs.streams[:0]
+	freeAt := vs.freeAt[:0]
 	*vs = vecState{
 		dst:      in.Dst,
 		n:        in.N,
 		flopsPer: in.Flops,
 		pipeFree: cycle,
 	}
+	vs.freeAt = freeAt
+	if cap(streams) < len(in.Srcs) {
+		streams = make([]streamState, len(in.Srcs)) //lint:allow hotalloc grows once to the widest instruction, then reused
+	}
+	vs.streams = streams[:len(in.Srcs)]
 	prefs := 0
-	vs.streams = make([]streamState, len(in.Srcs))
 	for i, s := range in.Srcs {
 		st := &vs.streams[i]
-		st.s = s
+		avail := st.avail[:0]
+		*st = streamState{s: s}
 		if s.Space != SpaceNone {
-			st.avail = make([]int64, in.N)
+			if cap(avail) < in.N {
+				avail = make([]int64, in.N) //lint:allow hotalloc grows once to the longest vector, then reused
+			}
+			st.avail = avail[:in.N]
 			for e := range st.avail {
 				st.avail[e] = -1
 			}
 		}
-		if s.Space == SpaceGlobal && s.PrefBlock == 0 && in.N > 0xffff {
-			panic("ce: unprefetched global stream longer than 65535 elements; strip-mine or prefetch")
+		if s.Space != SpaceNone && s.PrefBlock == 0 && in.N > 0xffff {
+			panic("ce: unprefetched memory stream longer than 65535 elements; strip-mine or prefetch")
 		}
 		if s.PrefBlock > 0 {
 			if s.Space != SpaceGlobal {
@@ -47,6 +64,8 @@ func (c *CE) startVector(cycle int64) {
 }
 
 // armBlock arms and fires the PFU for the block starting at element first.
+// Panics if the PFU rejects the arm or the fire — the block geometry comes
+// from the instruction, so a rejection is a controller bug.
 func (c *CE) armBlock(st *streamState, first int, cycle int64) {
 	n := st.s.PrefBlock
 	if first+n > c.vec.n {
@@ -147,29 +166,30 @@ func (c *CE) issueStream(st *streamState, si int, cycle int64) {
 		if st.issued < vs.n && vs.outstanding < c.p.MaxOutstanding {
 			e := st.issued
 			addr := uint64(int64(st.s.Base) + st.s.Stride*int64(e))
-			pkt := &network.Packet{
-				Kind: network.ReadReq, Src: c.Port, Dst: c.modFor(addr),
-				Addr:  addr,
-				Tag:   tagKindVec | uint32(si)<<16 | uint32(e&0xffff),
-				Issue: cycle,
-			}
+			pkt := c.pool.Get()
+			pkt.Kind = network.ReadReq
+			pkt.Src = c.Port
+			pkt.Dst = c.modFor(addr)
+			pkt.Addr = addr
+			pkt.Tag = tagKindVec | uint32(si)<<16 | uint32(e&0xffff)
+			pkt.Issue = cycle
 			if c.fwd.Offer(pkt) {
 				st.issued++
 				vs.outstanding++
+			} else {
+				c.pool.Put(pkt)
 			}
 		}
 
 	case st.s.Space == SpaceCluster:
-		// In-order submission through the cluster cache.
+		// In-order submission through the cluster cache. The tag encodes
+		// stream and element exactly like a global vector load's network
+		// tag, and CacheDone routes the completion back to the element.
 		if st.issued < vs.n && st.clusterInFlight < 4 {
 			e := st.issued
 			addr := uint64(int64(st.s.Base) + st.s.Stride*int64(e))
-			stp := st
-			ok := c.cache.Submit(c.IDInCluster, addr, false, 0, func(at int64) {
-				stp.avail[e] = at
-				stp.clusterInFlight--
-			})
-			if ok {
+			tag := uint64(tagKindVec) | uint64(si)<<16 | uint64(e&0xffff)
+			if c.cache.Submit(c.IDInCluster, addr, false, 0, c, tag) {
 				st.issued++
 				st.clusterInFlight++
 			}
@@ -224,7 +244,7 @@ func (c *CE) issueVecStores(cycle int64) {
 		addr := uint64(int64(d.Base) + d.Stride*int64(e))
 		var ok bool
 		if d.Space == SpaceCluster {
-			ok = c.cache.Submit(c.IDInCluster, addr, true, 0, nil)
+			ok = c.cache.Submit(c.IDInCluster, addr, true, 0, nil, 0)
 		} else {
 			ok = c.offerVecStore(addr, cycle)
 		}

@@ -77,6 +77,8 @@ func (r *Runtime) startSDoall(ci, k int, ph SDoall) {
 	r.pollFlag(ci, r.flagAddr, int64(k+1), work)
 }
 
+// clusterForCE resolves a CE index to its participating cluster. Panics
+// if the CE belongs to no participating cluster — a scheduling bug.
 func (r *Runtime) clusterForCE(ci int) *clusterCtl {
 	cl := r.ces[ci].Cluster
 	for _, cs := range r.clusters {
@@ -126,7 +128,8 @@ func (r *Runtime) masterClaim(ci, k int, ph SDoall, cs *clusterCtl) {
 }
 
 // runClusterWork executes the j-th cluster phase of an SDOALL iteration on
-// the master, then cont.
+// the master, then cont. Panics on an unknown cluster-phase type — a
+// malformed program, not a runtime condition.
 func (r *Runtime) runClusterWork(ci, k int, cs *clusterCtl, iter int, work []ClusterPhase, j int, cont func()) {
 	if j >= len(work) {
 		cont()

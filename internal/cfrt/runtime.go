@@ -197,7 +197,8 @@ func (r *Runtime) after(ci int, f func(cycle int64)) {
 	r.enq(ci, &ce.Instr{Op: ce.OpScalar, Cycles: 0, OnDone: f})
 }
 
-// enterPhase routes a participant into phase k.
+// enterPhase routes a participant into phase k. Panics on an unknown
+// phase type — a malformed program, not a runtime condition.
 func (r *Runtime) enterPhase(ci, k int) {
 	if k >= len(r.ph) {
 		r.ctl[ci].finished = true

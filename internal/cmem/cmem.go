@@ -22,14 +22,24 @@ type Memory struct {
 	busyCnt int64
 }
 
+// Sink receives transfer completions. Completions carry the caller's tag
+// instead of a per-request closure so that submitting on the per-cycle
+// hot path allocates nothing (the cache encodes the line address in the
+// tag and implements FillDone once).
+type Sink interface {
+	FillDone(tag uint64, cycle int64)
+}
+
 type pending struct {
 	remaining int
-	done      func(int64)
+	sink      Sink
+	tag       uint64
 }
 
 type firing struct {
 	at   int64
-	done func(int64)
+	sink Sink
+	tag  uint64
 }
 
 // New builds a cluster memory with the given bandwidth (words/cycle) and
@@ -47,14 +57,15 @@ func New(wordsPerCyc int, latency int, data *gmem.Store) *Memory {
 // Store returns the backdoor store.
 func (m *Memory) Store() *gmem.Store { return m.data }
 
-// Submit enqueues a transfer of words; done is invoked during the Tick in
-// which the transfer completes. There is no back-pressure: the queue is
+// Submit enqueues a transfer of words; sink.FillDone(tag, cycle) fires
+// during the Tick in which the transfer completes (sink may be nil for
+// fire-and-forget write-backs). There is no back-pressure: the queue is
 // the cache's miss traffic, already bounded by MSHR limits upstream.
-func (m *Memory) Submit(words int, done func(cycle int64)) {
+func (m *Memory) Submit(words int, sink Sink, tag uint64) {
 	if words < 1 {
 		words = 1
 	}
-	m.queue = append(m.queue, pending{remaining: words, done: done})
+	m.queue = append(m.queue, pending{remaining: words, sink: sink, tag: tag})
 }
 
 // Idle reports whether no transfers are queued or completing.
@@ -71,7 +82,7 @@ func (m *Memory) Tick(cycle int64) {
 		keep := m.firing[:0]
 		for _, f := range m.firing {
 			if f.at <= cycle {
-				f.done(cycle)
+				f.sink.FillDone(f.tag, cycle)
 			} else {
 				keep = append(keep, f)
 			}
@@ -93,8 +104,8 @@ func (m *Memory) Tick(cycle int64) {
 		h.remaining -= take
 		credit -= take
 		if h.remaining == 0 {
-			if h.done != nil {
-				m.firing = append(m.firing, firing{at: cycle + m.latency, done: h.done})
+			if h.sink != nil {
+				m.firing = append(m.firing, firing{at: cycle + m.latency, sink: h.sink, tag: h.tag})
 			}
 			copy(m.queue, m.queue[1:])
 			m.queue = m.queue[:len(m.queue)-1]

@@ -2,10 +2,16 @@ package cmem
 
 import "testing"
 
+// fillFunc adapts a completion closure to the Sink interface so tests can
+// keep asserting on completion cycles.
+type fillFunc func(cy int64)
+
+func (f fillFunc) FillDone(_ uint64, cy int64) { f(cy) }
+
 func TestTransferTiming(t *testing.T) {
 	m := New(4, 10, nil)
 	var done int64 = -1
-	m.Submit(4, func(cy int64) { done = cy })
+	m.Submit(4, fillFunc(func(cy int64) { done = cy }), 0)
 	for cycle := int64(0); cycle < 100 && !m.Idle(); cycle++ {
 		m.Tick(cycle)
 	}
@@ -19,7 +25,7 @@ func TestBandwidthSerializes(t *testing.T) {
 	m := New(4, 10, nil)
 	var times []int64
 	for i := 0; i < 10; i++ {
-		m.Submit(4, func(cy int64) { times = append(times, cy) })
+		m.Submit(4, fillFunc(func(cy int64) { times = append(times, cy) }), 0)
 	}
 	for cycle := int64(0); cycle < 1000 && !m.Idle(); cycle++ {
 		m.Tick(cycle)
@@ -40,7 +46,7 @@ func TestHalfBandwidthTakesTwice(t *testing.T) {
 	var last int64
 	const n = 20
 	for i := 0; i < n; i++ {
-		m.Submit(4, func(cy int64) { last = cy })
+		m.Submit(4, fillFunc(func(cy int64) { last = cy }), 0)
 	}
 	for cycle := int64(0); cycle < 1000 && !m.Idle(); cycle++ {
 		m.Tick(cycle)
@@ -54,7 +60,7 @@ func TestHalfBandwidthTakesTwice(t *testing.T) {
 func TestZeroWordTransferClamped(t *testing.T) {
 	m := New(4, 1, nil)
 	fired := false
-	m.Submit(0, func(int64) { fired = true })
+	m.Submit(0, fillFunc(func(int64) { fired = true }), 0)
 	for cycle := int64(0); cycle < 10 && !m.Idle(); cycle++ {
 		m.Tick(cycle)
 	}
@@ -65,7 +71,7 @@ func TestZeroWordTransferClamped(t *testing.T) {
 
 func TestBusyCycles(t *testing.T) {
 	m := New(4, 1, nil)
-	m.Submit(8, nil)
+	m.Submit(8, nil, 0)
 	for cycle := int64(0); cycle < 10 && !m.Idle(); cycle++ {
 		m.Tick(cycle)
 	}

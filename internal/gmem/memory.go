@@ -161,6 +161,9 @@ func (m *Memory) Tick(cycle int64) {
 	}
 }
 
+// tickModule advances one memory module: initiate the head request, age
+// the pipeline, and emit due replies. Panics on a packet kind a memory
+// module cannot serve — a routing bug, not a runtime condition.
 func (m *Memory) tickModule(i int, cycle int64) {
 	md := &m.mods[i]
 	if len(md.pipe) > 0 {

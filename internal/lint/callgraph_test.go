@@ -1,0 +1,93 @@
+package lint
+
+import "testing"
+
+// TestCallGraph covers the three constructions the conservative graph
+// must get right: interface dispatch (fan-out to structurally matching
+// methods), method values (a reference counts as an edge), and recursion
+// (Reachable terminates).
+func TestCallGraph(t *testing.T) {
+	pkgs := writeTestModule(t, map[string]string{
+		"go.mod": "module cg\n\ngo 1.22\n",
+		"dev/dev.go": `package dev
+
+// Ticker is the per-cycle interface.
+type Ticker interface{ Tick(cycle int64) }
+
+// Clock implements Ticker.
+type Clock struct{ n int64 }
+
+// Tick advances the clock.
+func (c *Clock) Tick(cycle int64) { c.n = cycle; c.helper() }
+
+func (c *Clock) helper() { loop(0) }
+
+func loop(d int) {
+	if d < 3 {
+		loop(d + 1)
+	}
+}
+`,
+		"eng/eng.go": `package eng
+
+import "cg/dev"
+
+// Run drives every Ticker once: an interface call.
+func Run(ts []dev.Ticker, cycle int64) {
+	for _, t := range ts {
+		t.Tick(cycle)
+	}
+}
+
+// Grab takes Tick as a method value without calling it.
+func Grab(c *dev.Clock) func(int64) { return c.Tick }
+
+// Closed calls Tick from inside a closure; the edge belongs to Closed.
+func Closed(c *dev.Clock) {
+	f := func() { c.Tick(0) }
+	f()
+}
+`,
+	})
+	g := NewModule(pkgs).CallGraph()
+
+	const (
+		run    = "cg/eng.Run"
+		grab   = "cg/eng.Grab"
+		closed = "cg/eng.Closed"
+		tick   = "(*cg/dev.Clock).Tick"
+		helper = "(*cg/dev.Clock).helper"
+		loop   = "cg/dev.loop"
+	)
+	for _, k := range []string{run, grab, closed, tick, helper, loop} {
+		if g.Nodes[k] == nil {
+			t.Fatalf("node %s missing from graph", k)
+		}
+	}
+
+	edges := []struct {
+		from, to, why string
+	}{
+		{run, tick, "interface dispatch fans out to matching concrete methods"},
+		{grab, tick, "a method value reference is an edge"},
+		{closed, tick, "closure bodies belong to the enclosing declaration"},
+		{tick, helper, "plain method call"},
+		{helper, loop, "plain function call"},
+		{loop, loop, "self-recursion"},
+	}
+	for _, e := range edges {
+		if !g.Calls(e.from, e.to) {
+			t.Errorf("missing edge %s -> %s (%s)", e.from, e.to, e.why)
+		}
+	}
+
+	reach := g.Reachable([]string{run})
+	for _, k := range []string{run, tick, helper, loop} {
+		if !reach[k] {
+			t.Errorf("%s not reachable from Run", k)
+		}
+	}
+	if reach[grab] || reach[closed] {
+		t.Error("Grab/Closed are not reachable from Run")
+	}
+}

@@ -1,0 +1,194 @@
+// Package concsafe enforces the fleet-era concurrency hygiene rules:
+//
+//   - A goroutine literal must not capture a loop variable. Go 1.22 made
+//     per-iteration bindings the semantics, so this is no longer a
+//     correctness bug — but the repo treats it as hygiene: the captured
+//     name hides which iteration's value the goroutine sees, so pass it
+//     as an argument instead.
+//   - Inside a goroutine literal, a captured *scope.Hub may only be
+//     Forked (or Adopted from): any other method call mutates shared
+//     metrics state from a worker, which breaks cedarfleet's
+//     byte-identical-at-any-jobs guarantee. A Hub obtained inside the
+//     goroutine (h := hub.Fork()) is worker-local and unrestricted.
+//   - sync.Mutex, sync.RWMutex, sync.WaitGroup, sync.Once, and sync.Cond
+//     must not travel by value: a copied lock guards nothing. Receivers
+//     and parameters of these bare types are findings.
+package concsafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"cedar/internal/lint"
+)
+
+// Analyzer is the concsafe check.
+var Analyzer = &lint.Analyzer{
+	Name: "concsafe",
+	Doc:  "goroutine loop-variable capture, shared Hub mutation from workers, by-value sync primitives",
+	Run:  run,
+}
+
+// forkOnly are the Hub methods a worker goroutine may call on a captured
+// hub: everything else mutates shared state.
+var forkOnly = map[string]bool{"Fork": true, "Adopt": true}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		checkFile(pass, f)
+	}
+	return nil
+}
+
+func checkFile(pass *lint.Pass, f *ast.File) {
+	// loopVars tracks, per enclosing loop nest, the objects bound by
+	// range/for clauses currently in scope.
+	var loopVars []types.Object
+
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			mark := len(loopVars)
+			for _, e := range []ast.Expr{n.Key, n.Value} {
+				if id, ok := e.(*ast.Ident); ok {
+					if obj := pass.Info.Defs[id]; obj != nil {
+						loopVars = append(loopVars, obj)
+					}
+				}
+			}
+			ast.Inspect(n.Body, walk)
+			loopVars = loopVars[:mark]
+			return false
+		case *ast.ForStmt:
+			mark := len(loopVars)
+			if init, ok := n.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE {
+				for _, e := range init.Lhs {
+					if id, ok := e.(*ast.Ident); ok {
+						if obj := pass.Info.Defs[id]; obj != nil {
+							loopVars = append(loopVars, obj)
+						}
+					}
+				}
+			}
+			ast.Inspect(n.Body, walk)
+			loopVars = loopVars[:mark]
+			return false
+		case *ast.GoStmt:
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				checkGoroutine(pass, lit, loopVars)
+			}
+			return true
+		case *ast.FuncDecl:
+			checkSyncByValue(pass, n.Recv, n.Type)
+		case *ast.FuncLit:
+			checkSyncByValue(pass, nil, n.Type)
+		}
+		return true
+	}
+	ast.Inspect(f, walk)
+}
+
+// checkGoroutine inspects one `go func(){...}` literal for loop-variable
+// capture and shared-Hub mutation.
+func checkGoroutine(pass *lint.Pass, lit *ast.FuncLit, loopVars []types.Object) {
+	captured := map[types.Object]bool{}
+	for _, obj := range loopVars {
+		captured[obj] = true
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			if obj := pass.Info.Uses[n]; obj != nil && captured[obj] {
+				pass.Reportf(n.Pos(),
+					"goroutine captures loop variable %s; pass it as an argument to the func literal", n.Name)
+			}
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if !isHub(pass.Info.TypeOf(sel.X)) || forkOnly[sel.Sel.Name] {
+				return true
+			}
+			if definedOutside(pass.Info, sel.X, lit) {
+				pass.Reportf(n.Pos(),
+					"goroutine calls %s on a captured Hub; Fork a worker-local hub instead of mutating shared metrics state", sel.Sel.Name)
+			}
+		}
+		return true
+	})
+}
+
+// isHub matches the named type Hub from a package called scope (by path
+// suffix, so golden-test modules can define their own scope package).
+func isHub(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Hub" || named.Obj().Pkg() == nil {
+		return false
+	}
+	path := named.Obj().Pkg().Path()
+	return path == "scope" || strings.HasSuffix(path, "/scope")
+}
+
+// definedOutside reports whether the root identifier of expr names an
+// object declared outside lit's body — i.e. the expression is captured,
+// not worker-local.
+func definedOutside(info *types.Info, expr ast.Expr, lit *ast.FuncLit) bool {
+	for {
+		switch e := expr.(type) {
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.Ident:
+			obj := info.Uses[e]
+			if obj == nil {
+				return false
+			}
+			return obj.Pos() < lit.Body.Pos() || obj.Pos() > lit.Body.End()
+		default:
+			return false
+		}
+	}
+}
+
+// checkSyncByValue flags receivers and parameters whose type is a bare
+// sync primitive that must not be copied.
+func checkSyncByValue(pass *lint.Pass, recv *ast.FieldList, ftype *ast.FuncType) {
+	check := func(fl *ast.FieldList, role string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := pass.Info.TypeOf(field.Type)
+			if name, bad := copiedSyncType(t); bad {
+				pass.Reportf(field.Type.Pos(),
+					"%s copies sync.%s by value; a copied lock guards nothing — use *sync.%s", role, name, name)
+			}
+		}
+	}
+	check(recv, "receiver")
+	check(ftype.Params, "parameter")
+}
+
+// copiedSyncType reports whether t is a bare (non-pointer) sync.Mutex,
+// RWMutex, WaitGroup, Once, or Cond.
+func copiedSyncType(t types.Type) (string, bool) {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return "", false
+	}
+	switch name := named.Obj().Name(); name {
+	case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond":
+		return name, true
+	}
+	return "", false
+}

@@ -1,0 +1,16 @@
+package concsafe_test
+
+import (
+	"testing"
+
+	"cedar/internal/lint"
+	"cedar/internal/lint/concsafe"
+	"cedar/internal/lint/linttest"
+)
+
+// The golden sources need a scope.Hub lookalike in a sibling package, so
+// concsafe tests as a module rather than a single golden package.
+func TestConcSafe(t *testing.T) {
+	suite := &lint.Suite{Package: []lint.ScopedAnalyzer{{Analyzer: concsafe.Analyzer}}}
+	linttest.RunModule(t, suite, "testdata/mod")
+}

@@ -1,0 +1,3 @@
+module csmod
+
+go 1.22

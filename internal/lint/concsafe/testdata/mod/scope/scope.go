@@ -1,0 +1,15 @@
+// Package scope mimics the real metrics hub; the analyzer matches it by
+// package-path suffix and the type name Hub.
+package scope
+
+// Hub is a stand-in metrics hub.
+type Hub struct{ n int }
+
+// Fork returns a worker-local child hub.
+func (h *Hub) Fork() *Hub { return &Hub{} }
+
+// Adopt merges a forked child back in.
+func (h *Hub) Adopt(w *Hub) { h.n += w.n }
+
+// Bump mutates shared state.
+func (h *Hub) Bump() { h.n++ }

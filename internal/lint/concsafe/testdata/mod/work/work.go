@@ -1,0 +1,76 @@
+// Package work is the golden package for the concsafe analyzer.
+package work
+
+import (
+	"sync"
+
+	"csmod/scope"
+)
+
+func use(int) {}
+
+func loopCapture(items []int) {
+	var wg sync.WaitGroup
+	for i, v := range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			use(i) // want `goroutine captures loop variable i`
+			use(v) // want `goroutine captures loop variable v`
+		}()
+	}
+	wg.Wait()
+}
+
+func loopArg(items []int) {
+	var wg sync.WaitGroup
+	for i := range items {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			use(i) // passed as an argument: clean
+		}(i)
+	}
+	wg.Wait()
+}
+
+func forCapture() {
+	for j := 0; j < 4; j++ {
+		go func() {
+			use(j) // want `goroutine captures loop variable j`
+		}()
+	}
+}
+
+func sharedHub(hub *scope.Hub, jobs []int) {
+	var wg sync.WaitGroup
+	for range jobs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := hub.Fork() // Fork on a captured hub is the sanctioned idiom
+			w.Bump()        // worker-local hub: unrestricted
+			hub.Bump()      // want `goroutine calls Bump on a captured Hub`
+			hub.Adopt(w)
+		}()
+	}
+	wg.Wait()
+}
+
+func lockByValue(mu sync.Mutex) { // want `parameter copies sync\.Mutex by value`
+	mu.Lock()
+	mu.Unlock()
+}
+
+func waitByValue(wg sync.WaitGroup) { // want `parameter copies sync\.WaitGroup by value`
+	wg.Wait()
+}
+
+func lockByPointer(mu *sync.Mutex) {
+	mu.Lock()
+	mu.Unlock()
+}
+
+var litByValue = func(o sync.Once) { // want `parameter copies sync\.Once by value`
+	o.Do(func() {})
+}

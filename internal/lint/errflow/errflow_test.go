@@ -1,0 +1,12 @@
+package errflow_test
+
+import (
+	"testing"
+
+	"cedar/internal/lint/errflow"
+	"cedar/internal/lint/linttest"
+)
+
+func TestErrFlow(t *testing.T) {
+	linttest.Run(t, errflow.Analyzer, "testdata/src/errflow")
+}

@@ -1,0 +1,17 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"cedar/internal/lint"
+	"cedar/internal/lint/hotalloc"
+	"cedar/internal/lint/linttest"
+)
+
+func TestHotAlloc(t *testing.T) {
+	suite := &lint.Suite{Module: []*lint.ModuleAnalyzer{hotalloc.New(hotalloc.Config{
+		HotPkgs: []string{"hot"},
+		Roots:   []string{"Tick"},
+	})}}
+	linttest.RunModule(t, suite, "testdata/mod")
+}

@@ -1,0 +1,8 @@
+// Package helper is outside the hot set: code here is never reported,
+// even when Tick reaches it.
+package helper
+
+// Cold allocates, but helper is not a hot package.
+func Cold(n int) []int {
+	return make([]int, n)
+}

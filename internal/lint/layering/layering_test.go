@@ -1,0 +1,21 @@
+package layering_test
+
+import (
+	"testing"
+
+	"cedar/internal/lint"
+	"cedar/internal/lint/layering"
+	"cedar/internal/lint/linttest"
+)
+
+func TestLayering(t *testing.T) {
+	suite := &lint.Suite{Module: []*lint.ModuleAnalyzer{layering.New(layering.Config{
+		Layers: map[string]int{
+			"base": 0,
+			"low":  0,
+			"mid":  1,
+		},
+		Prefixes: map[string]int{"cmd/": 2},
+	})}}
+	linttest.RunModule(t, suite, "testdata/mod")
+}

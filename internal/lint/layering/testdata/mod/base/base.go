@@ -1,0 +1,5 @@
+// Package base anchors the bottom layer.
+package base
+
+// V is the bottom-layer value.
+const V = 1

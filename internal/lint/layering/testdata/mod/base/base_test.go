@@ -1,0 +1,6 @@
+package base
+
+import "laymod/mid"
+
+// Tests may reach across layers freely (no finding here).
+var _ = mid.W

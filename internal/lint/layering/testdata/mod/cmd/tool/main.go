@@ -1,0 +1,7 @@
+// Command tool exercises the prefix table: cmd/* sits on top and may
+// import anything.
+package main
+
+import "laymod/low"
+
+func main() { _ = low.X }

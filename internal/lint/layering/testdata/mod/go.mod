@@ -1,0 +1,3 @@
+module laymod
+
+go 1.22

@@ -1,0 +1,7 @@
+// Package low is bottom-layer code that illegally reaches upward.
+package low
+
+import "laymod/mid" // want `layering violation: laymod/low \(layer 0\) imports laymod/mid \(layer 1\)`
+
+// X leaks an upper-layer value downward.
+const X = mid.W

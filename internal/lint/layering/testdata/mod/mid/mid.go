@@ -1,0 +1,7 @@
+// Package mid sits one layer above base; its downward import is fine.
+package mid
+
+import "laymod/base"
+
+// W consumes the lower layer.
+const W = base.V + 1

@@ -1,0 +1,5 @@
+// Package stray is missing from the DAG on purpose.
+package stray // want `package laymod/stray is not assigned a layer`
+
+// S keeps the package non-empty.
+const S = 1

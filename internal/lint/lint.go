@@ -92,17 +92,31 @@ const allowDirective = "//lint:allow"
 // directives are reported. It cannot itself be suppressed.
 const MalformedCheck = "lintdirective"
 
+// StaleCheck is the pseudo-check name under which the suppression audit
+// reports //lint:allow directives that no longer suppress a live finding.
+// Like MalformedCheck it cannot itself be suppressed: a stale directive
+// is dead weight that hides nothing and must be deleted, not waived.
+const StaleCheck = "lintstale"
+
+// directive is one parsed //lint:allow comment.
+type directive struct {
+	pos   token.Position
+	check string
+	used  bool
+}
+
 // Directives holds the parsed //lint:allow suppressions of one package.
 type Directives struct {
-	// allow maps filename -> line -> set of check names allowed there.
-	allow map[string]map[int]map[string]bool
+	list []*directive
+	// allow maps filename -> line -> directives covering that line.
+	allow map[string]map[int][]*directive
 	// Malformed collects directives missing a check name or a reason.
 	Malformed []Diagnostic
 }
 
 // ParseDirectives scans the comments of files for //lint:allow.
 func ParseDirectives(fset *token.FileSet, files []*ast.File) *Directives {
-	d := &Directives{allow: map[string]map[int]map[string]bool{}}
+	d := &Directives{allow: map[string]map[int][]*directive{}}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -120,19 +134,17 @@ func ParseDirectives(fset *token.FileSet, files []*ast.File) *Directives {
 					})
 					continue
 				}
-				check := fields[0]
+				dir := &directive{pos: pos, check: fields[0]}
+				d.list = append(d.list, dir)
 				byLine := d.allow[pos.Filename]
 				if byLine == nil {
-					byLine = map[int]map[string]bool{}
+					byLine = map[int][]*directive{}
 					d.allow[pos.Filename] = byLine
 				}
 				// A directive covers its own line (trailing comment)
 				// and the next line (own-line comment above the code).
 				for _, line := range []int{pos.Line, pos.Line + 1} {
-					if byLine[line] == nil {
-						byLine[line] = map[string]bool{}
-					}
-					byLine[line][check] = true
+					byLine[line] = append(byLine[line], dir)
 				}
 			}
 		}
@@ -140,17 +152,187 @@ func ParseDirectives(fset *token.FileSet, files []*ast.File) *Directives {
 	return d
 }
 
-// Suppressed reports whether diag is covered by an allow directive.
+// Suppressed reports whether diag is covered by an allow directive, and
+// marks the covering directive as live for the stale-suppression audit.
 func (d *Directives) Suppressed(diag Diagnostic) bool {
-	if diag.Check == MalformedCheck {
+	if diag.Check == MalformedCheck || diag.Check == StaleCheck {
 		return false
 	}
-	return d.allow[diag.Pos.Filename][diag.Pos.Line][diag.Check]
+	hit := false
+	for _, dir := range d.allow[diag.Pos.Filename][diag.Pos.Line] {
+		if dir.check == diag.Check {
+			dir.used = true
+			hit = true
+		}
+	}
+	return hit
+}
+
+// Stale reports directives that suppressed nothing, restricted to checks
+// for which audited returns true (a directive for a check that did not
+// run this pass cannot be judged). known tells whether a check name
+// exists at all; unknown names are always reported when audited.
+func (d *Directives) Stale(audited, known func(check string) bool, validList string) []Diagnostic {
+	var out []Diagnostic
+	for _, dir := range d.list {
+		if dir.used || !audited(dir.check) {
+			continue
+		}
+		msg := fmt.Sprintf("//lint:allow %s suppresses no finding; delete the stale directive", dir.check)
+		if !known(dir.check) {
+			msg = fmt.Sprintf("//lint:allow names unknown check %q (valid: %s)", dir.check, validList)
+		}
+		out = append(out, Diagnostic{Pos: dir.pos, Check: StaleCheck, Message: msg})
+	}
+	return out
+}
+
+// A ScopedAnalyzer pairs a package analyzer with the subset of packages
+// it applies to. A nil Applies means everywhere.
+type ScopedAnalyzer struct {
+	Analyzer *Analyzer
+	Applies  func(pkgPath string) bool
+}
+
+// A Suite is the full set of checks run over one module load: scoped
+// per-package analyzers plus whole-module analyzers.
+type Suite struct {
+	Package []ScopedAnalyzer
+	Module  []*ModuleAnalyzer
+}
+
+// Names returns every check name in the suite, sorted.
+func (s *Suite) Names() []string {
+	var names []string
+	for _, sa := range s.Package {
+		names = append(names, sa.Analyzer.Name)
+	}
+	for _, ma := range s.Module {
+		names = append(names, ma.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Has reports whether the suite contains a check with the given name.
+func (s *Suite) Has(name string) bool {
+	for _, n := range s.Names() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes the suite over a module's packages, applies //lint:allow
+// suppressions, and returns the surviving diagnostics sorted by position.
+// The result includes malformed directives and the stale-suppression
+// audit: any directive naming an enabled check that suppressed nothing is
+// itself a finding (check "lintstale"), as is a directive naming a check
+// the suite has never heard of. enabled filters checks by name; nil runs
+// everything. Directives for disabled checks are left alone — they cannot
+// be judged on a partial run.
+func (s *Suite) Run(pkgs []*Package, enabled func(name string) bool) ([]Diagnostic, error) {
+	if enabled == nil {
+		enabled = func(string) bool { return true }
+	}
+
+	dirsByPkg := make([]*Directives, len(pkgs))
+	fileDirs := map[string]*Directives{}
+	var diags []Diagnostic
+	for i, pkg := range pkgs {
+		d := ParseDirectives(pkg.Fset, pkg.Files)
+		dirsByPkg[i] = d
+		for filename := range d.allow {
+			fileDirs[filename] = d
+		}
+		diags = append(diags, d.Malformed...)
+	}
+
+	var raw []Diagnostic
+	for _, pkg := range pkgs {
+		for _, sa := range s.Package {
+			if !enabled(sa.Analyzer.Name) {
+				continue
+			}
+			if sa.Applies != nil && !sa.Applies(pkg.Path) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer: sa.Analyzer,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    &raw,
+			}
+			if err := sa.Analyzer.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", sa.Analyzer.Name, pkg.Path, err)
+			}
+		}
+	}
+	if len(s.Module) > 0 {
+		mod := NewModule(pkgs)
+		for _, ma := range s.Module {
+			if !enabled(ma.Name) {
+				continue
+			}
+			pass := &ModulePass{Analyzer: ma, Module: mod, diags: &raw}
+			if err := ma.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %w", ma.Name, err)
+			}
+		}
+	}
+
+	for _, d := range raw {
+		fd := fileDirs[d.Pos.Filename]
+		if fd != nil && fd.Suppressed(d) {
+			continue
+		}
+		diags = append(diags, d)
+	}
+
+	// Stale-suppression audit. Only directives naming enabled checks are
+	// judged; on a full run that is every directive, so unknown check
+	// names surface too.
+	audited := func(check string) bool {
+		if s.Has(check) {
+			return enabled(check)
+		}
+		// Unknown check names only surface on a full run: a subset run
+		// cannot distinguish "misspelled" from "not selected today".
+		return enabled(StaleCheck)
+	}
+	validList := strings.Join(s.Names(), ", ")
+	for _, d := range dirsByPkg {
+		diags = append(diags, d.Stale(audited, s.Has, validList)...)
+	}
+
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Check < diags[j].Check
+	})
 }
 
 // CheckPackage runs the analyzers over one loaded package, applies the
 // package's //lint:allow directives, and returns the surviving
-// diagnostics sorted by position (malformed directives included).
+// diagnostics sorted by position (malformed directives included). Unlike
+// Suite.Run it performs no stale-suppression audit, which keeps golden
+// linttest packages focused on one analyzer at a time.
 func CheckPackage(pkg *Package, analyzers ...*Analyzer) ([]Diagnostic, error) {
 	dirs := ParseDirectives(pkg.Fset, pkg.Files)
 	diags := append([]Diagnostic(nil), dirs.Malformed...)
@@ -173,18 +355,6 @@ func CheckPackage(pkg *Package, analyzers ...*Analyzer) ([]Diagnostic, error) {
 			}
 		}
 	}
-	sort.Slice(diags, func(i, j int) bool {
-		a, b := diags[i].Pos, diags[j].Pos
-		if a.Filename != b.Filename {
-			return a.Filename < b.Filename
-		}
-		if a.Line != b.Line {
-			return a.Line < b.Line
-		}
-		if a.Column != b.Column {
-			return a.Column < b.Column
-		}
-		return diags[i].Check < diags[j].Check
-	})
+	sortDiagnostics(diags)
 	return diags, nil
 }

@@ -1,0 +1,40 @@
+package linttest_test
+
+import (
+	"go/ast"
+	"testing"
+
+	"cedar/internal/lint"
+	"cedar/internal/lint/linttest"
+)
+
+// flagBad reports every call to a function literally named bad — a
+// deterministic finding source for exercising the suppression machinery.
+var flagBad = &lint.Analyzer{
+	Name: "flagbad",
+	Doc:  "flags calls to functions named bad",
+	Run: func(pass *lint.Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "bad" {
+					pass.Reportf(call.Pos(), "call to bad")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+// TestRunModuleStaleAudit runs a full Suite over the stalemod golden
+// module: a used directive stays silent, an unused one is reported as
+// lintstale, and a misspelled check name is called out with the valid
+// list.
+func TestRunModuleStaleAudit(t *testing.T) {
+	suite := &lint.Suite{Package: []lint.ScopedAnalyzer{{Analyzer: flagBad}}}
+	linttest.RunModule(t, suite, "testdata/stalemod")
+}

@@ -1,0 +1,17 @@
+// Package a exercises //lint:allow suppression and the stale audit end
+// to end through Suite.Run.
+package a
+
+func bad() {}
+
+func covered() {
+	bad() //lint:allow flagbad the golden test wants this one waived
+}
+
+func uncovered() {
+	bad() // want `call to bad`
+}
+
+//lint:allow flagbad covers no finding at all // want `suppresses no finding; delete the stale directive`
+
+//lint:allow flagbda misspelled check name // want `names unknown check "flagbda"`

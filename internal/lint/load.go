@@ -19,6 +19,9 @@ import (
 type Package struct {
 	// Path is the import path ("cedar/internal/tables").
 	Path string
+	// Module is the module path from go.mod ("cedar"); Path is always
+	// Module or Module + "/...".
+	Module string
 	// Dir is the absolute directory holding the sources.
 	Dir   string
 	Fset  *token.FileSet
@@ -191,7 +194,7 @@ func (l *Loader) loadDir(dir string) (*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("typecheck %s: %w", path, err)
 	}
-	return &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}, nil
+	return &Package{Path: path, Module: l.Module, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}, nil
 }
 
 // parseDir parses the package in dir. Only files of the primary

@@ -1,7 +1,6 @@
 package network
 
 import (
-	"container/heap"
 	"fmt"
 
 	"cedar/internal/fault"
@@ -31,6 +30,7 @@ type Crossbar struct {
 
 // NewCrossbar builds an ideal crossbar with the given minimum transit
 // latency (use the stage count of the omega being compared against).
+// Panics if ports < 1 — a configuration bug, not a runtime condition.
 func NewCrossbar(name string, ports int, latency int) *Crossbar {
 	if ports < 1 {
 		panic("network: crossbar needs ≥1 port")
@@ -83,14 +83,15 @@ func (c *Crossbar) Queued() int {
 // Lines implements Fabric: a single-stage fabric has one wire per port.
 func (c *Crossbar) Lines() int { return c.ports }
 
-// Offer implements Fabric. An ideal crossbar never refuses.
+// Offer implements Fabric. An ideal crossbar never refuses. Panics if a
+// port is out of range — a wiring bug, not a runtime condition.
 func (c *Crossbar) Offer(p *Packet) bool {
 	if p.Src < 0 || p.Src >= c.ports || p.Dst < 0 || p.Dst >= c.ports {
 		panic(fmt.Sprintf("network %s: port out of range: %v", c.name, p))
 	}
 	p.readyAt = -1 // filled in when scheduled below
 	c.seq++
-	heap.Push(&c.pending, pendingPkt{pkt: p, seq: c.seq})
+	c.pending.push(pendingPkt{pkt: p, seq: c.seq})
 	c.stats.Offered++
 	c.inflight++
 	return true
@@ -105,14 +106,14 @@ func (c *Crossbar) Tick(cycle int64) {
 		top := &c.pending[0]
 		if top.pkt.readyAt == -1 {
 			if droppable(top.pkt) && c.inj.LinkDrop(c.name, 0, top.pkt.Dst, cycle) {
-				heap.Pop(&c.pending)
+				c.pending.pop()
 				c.inflight--
 				continue
 			}
 			// Stamp transit eligibility on first sight; a jammed stage
 			// shows up as added transit latency.
 			top.pkt.readyAt = cycle + c.latency + c.inj.JamDelay(c.name, 0, top.pkt.Dst, cycle)
-			heap.Fix(&c.pending, 0)
+			c.pending.fix(0)
 			continue
 		}
 		if top.pkt.readyAt > cycle {
@@ -130,10 +131,10 @@ func (c *Crossbar) Tick(cycle int64) {
 			top.pkt.readyAt = free + w
 			top.scheduled = true
 			c.stats.WordHops += w
-			heap.Fix(&c.pending, 0)
+			c.pending.fix(0)
 			continue
 		}
-		p := heap.Pop(&c.pending).(pendingPkt).pkt
+		p := c.pending.pop().pkt
 		c.egress[p.Dst].push(p)
 	}
 }
@@ -190,10 +191,13 @@ type pendingPkt struct {
 	scheduled bool
 }
 
+// pktHeap is a hand-rolled min-heap over pendingPkt, ordered by readyAt
+// then arrival sequence. container/heap would box every element through
+// interface{} on Push/Pop — an allocation per packet on the per-cycle
+// path — so the sift routines are written out instead.
 type pktHeap []pendingPkt
 
-func (h pktHeap) Len() int { return len(h) }
-func (h pktHeap) Less(i, j int) bool {
+func (h pktHeap) less(i, j int) bool {
 	ri, rj := h[i].pkt.readyAt, h[j].pkt.readyAt
 	if ri != rj {
 		// Unstamped packets (-1) sort first so Tick stamps them.
@@ -201,12 +205,62 @@ func (h pktHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h pktHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *pktHeap) Push(x interface{}) { *h = append(*h, x.(pendingPkt)) }
-func (h *pktHeap) Pop() interface{} {
+
+func (h *pktHeap) push(p pendingPkt) {
+	*h = append(*h, p)
+	h.up(len(*h) - 1)
+}
+
+func (h *pktHeap) pop() pendingPkt {
 	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+	n := len(old) - 1
+	old[0], old[n] = old[n], old[0]
+	top := old[n]
+	old[n] = pendingPkt{}
+	*h = old[:n]
+	if n > 0 {
+		h.down(0)
+	}
+	return top
+}
+
+// fix restores heap order after element i's key changed in place.
+func (h *pktHeap) fix(i int) {
+	if !h.down(i) {
+		h.up(i)
+	}
+}
+
+func (h *pktHeap) up(i int) {
+	s := *h
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+// down sifts element i toward the leaves; it reports whether i moved.
+func (h *pktHeap) down(i int) bool {
+	s := *h
+	start := i
+	for {
+		left := 2*i + 1
+		if left >= len(s) {
+			break
+		}
+		least := left
+		if right := left + 1; right < len(s) && s.less(right, left) {
+			least = right
+		}
+		if !s.less(least, i) {
+			break
+		}
+		s[i], s[least] = s[least], s[i]
+		i = least
+	}
+	return i > start
 }

@@ -222,7 +222,8 @@ func (o *Omega) digit(v, i int) int {
 }
 
 // Offer implements Fabric. The packet enters the stage-0 queue on the
-// shuffled line for its source port.
+// shuffled line for its source port. Panics if a port is out of range —
+// a wiring bug, not a runtime condition.
 func (o *Omega) Offer(p *Packet) bool {
 	if p.Src < 0 || p.Src >= o.ports || p.Dst < 0 || p.Dst >= o.ports {
 		panic(fmt.Sprintf("network %s: port out of range: %v", o.name, p))

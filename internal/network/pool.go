@@ -1,0 +1,35 @@
+package network
+
+// PacketPool is a freelist of Packets for the per-cycle issue paths. The
+// packet lifecycle is linear — a CE or PFU allocates a request, the
+// forward fabric carries it, the memory module rewrites it in place into
+// the reply, the reverse fabric carries it back, and the issuing CE
+// consumes it — so the consumer can hand the dead packet straight back to
+// the pool that built it. Each CE owns one pool (shared with its PFU,
+// which issues on the same port): packets never migrate between CEs, so
+// the pool needs no locking and stays deterministic. A packet dropped by
+// fault injection simply never returns; the pool forgets it and the
+// garbage collector takes over.
+type PacketPool struct {
+	free []*Packet
+}
+
+// Get returns a zeroed packet, reusing a retired one when available.
+func (p *PacketPool) Get() *Packet {
+	n := len(p.free)
+	if n == 0 {
+		return new(Packet) //lint:allow hotalloc pool refill on first use; steady state reuses retired packets
+	}
+	pkt := p.free[n-1]
+	p.free[n-1] = nil
+	p.free = p.free[:n-1]
+	*pkt = Packet{}
+	return pkt
+}
+
+// Put retires a packet. The caller must hold the only live reference.
+func (p *PacketPool) Put(pkt *Packet) {
+	if pkt != nil {
+		p.free = append(p.free, pkt)
+	}
+}

@@ -14,6 +14,7 @@
 package prefetch
 
 import (
+	"errors"
 	"fmt"
 
 	"cedar/internal/network"
@@ -49,6 +50,7 @@ type PFU struct {
 	port    int
 	fwd     network.Fabric
 	modFor  func(addr uint64) int
+	pool    *network.PacketPool
 	observe BlockObserver
 	// extraObs holds additional block observers (the observability hub's
 	// prefetch-block tracer) that ride alongside the primary observe hook.
@@ -123,13 +125,19 @@ type Stats struct {
 }
 
 // New builds a PFU for the CE on the given forward-network port. modFor
-// maps a word address to its memory module (egress port).
-func New(p params.Machine, port int, fwd network.Fabric, modFor func(uint64) int) *PFU {
+// maps a word address to its memory module (egress port). pool recycles
+// issued packets — pass the owning CE's pool so replies drained on the
+// shared port retire into the same freelist; nil gets a private pool.
+func New(p params.Machine, port int, fwd network.Fabric, modFor func(uint64) int, pool *network.PacketPool) *PFU {
+	if pool == nil {
+		pool = &network.PacketPool{}
+	}
 	return &PFU{
 		p:      p,
 		port:   port,
 		fwd:    fwd,
 		modFor: modFor,
+		pool:   pool,
 		buf:    make([]slot, p.PFUBufferWords),
 	}
 }
@@ -167,10 +175,10 @@ func (u *PFU) Outstanding() int { return u.outstanding }
 // will be dropped on return.
 func (u *PFU) Arm(length int, stride int64, mask []bool) error {
 	if length < 1 || length > u.p.PFUBufferWords {
-		return fmt.Errorf("prefetch: block length %d outside 1..%d", length, u.p.PFUBufferWords)
+		return fmt.Errorf("prefetch: block length %d outside 1..%d", length, u.p.PFUBufferWords) //lint:allow hotalloc reject-path error construction, not steady-state work
 	}
 	if mask != nil && len(mask) != length {
-		return fmt.Errorf("prefetch: mask length %d != block length %d", len(mask), length)
+		return fmt.Errorf("prefetch: mask length %d != block length %d", len(mask), length) //lint:allow hotalloc reject-path error construction, not steady-state work
 	}
 	u.flushBlock()
 	u.epoch++
@@ -193,14 +201,21 @@ func (u *PFU) Arm(length int, stride int64, mask []bool) error {
 	return nil
 }
 
+// Fire rejection errors, allocated once: Fire sits on the per-cycle
+// re-arm path, so even its failure modes must not construct errors.
+var (
+	ErrNotArmed     = errors.New("prefetch: Fire without Arm")
+	ErrAlreadyFired = errors.New("prefetch: already fired")
+)
+
 // Fire starts the armed prefetch at the given physical word address. The
 // first request is issued on the next Tick.
 func (u *PFU) Fire(addr uint64) error {
 	if !u.armed {
-		return fmt.Errorf("prefetch: Fire without Arm")
+		return ErrNotArmed
 	}
 	if u.fired {
-		return fmt.Errorf("prefetch: already fired")
+		return ErrAlreadyFired
 	}
 	u.fired = true
 	u.nextAddr = addr
@@ -284,16 +299,16 @@ func (u *PFU) Tick(cycle int64) {
 // issueElement offers one element read to the forward network and books
 // the retry state on success.
 func (u *PFU) issueElement(idx int, addr uint64, cycle int64) bool {
-	pkt := &network.Packet{
-		Kind:  network.ReadReq,
-		Src:   u.port,
-		Dst:   u.modFor(addr),
-		Addr:  addr,
-		Tag:   TagBit | (u.epoch&0x7fff)<<16 | uint32(idx),
-		Issue: cycle,
-	}
+	pkt := u.pool.Get()
+	pkt.Kind = network.ReadReq
+	pkt.Src = u.port
+	pkt.Dst = u.modFor(addr)
+	pkt.Addr = addr
+	pkt.Tag = TagBit | (u.epoch&0x7fff)<<16 | uint32(idx)
+	pkt.Issue = cycle
 	if !u.fwd.Offer(pkt) {
 		u.stats.RefusedCyc++
+		u.pool.Put(pkt)
 		return false
 	}
 	if u.firstIssue < 0 {
@@ -360,6 +375,7 @@ func (u *PFU) scheduleRetry(idx int, cycle int64) {
 	s := &u.buf[idx]
 	s.tries++
 	if s.tries > retryMax {
+		//lint:allow hotalloc terminal fault path, runs at most once per block
 		u.err = fmt.Errorf("prefetch: element %d unreachable after %d retries (addr %#x)",
 			idx, retryMax, s.addr)
 		u.fired = false // give up the block; Busy() turns false
@@ -431,7 +447,7 @@ func (u *PFU) Consumed() int { return u.consumeIdx }
 func (u *PFU) flushBlock() {
 	if u.fired && (u.observe != nil || len(u.extraObs) > 0) &&
 		u.firstIssue >= 0 && len(u.arrivals) > 0 {
-		arr := make([]int64, len(u.arrivals))
+		arr := make([]int64, len(u.arrivals)) //lint:allow hotalloc per-block observer snapshot; arrivals is reused, so observers need their own copy
 		copy(arr, u.arrivals)
 		if u.observe != nil {
 			u.observe(u.firstIssue, arr)

@@ -25,7 +25,7 @@ func newRig(t *testing.T) *rig {
 	fwd := network.NewOmega(network.OmegaConfig{Name: "fwd", Ports: p.NetPorts, Radix: p.NetRadix, QueueWords: p.NetQueueWords})
 	rev := network.NewOmega(network.OmegaConfig{Name: "rev", Ports: p.NetPorts, Radix: p.NetRadix, QueueWords: p.NetQueueWords})
 	mem := gmem.New(p, fwd, rev, nil)
-	pfu := New(p, 0, fwd, mem.ModuleFor)
+	pfu := New(p, 0, fwd, mem.ModuleFor, nil)
 	eng := sim.New()
 	r := &rig{p: p, eng: eng, pfu: pfu, mem: mem}
 	drainer := sim.Func{ID: "ce0", F: func(cycle int64) {

@@ -15,8 +15,18 @@ go build ./...
 echo "==> go vet ./..."
 go vet ./...
 
-echo "==> cedarvet (determinism + parameter hygiene)"
-go run ./cmd/cedarvet ./...
+# cedarvet runs after stock vet on purpose: its analyzers assume a
+# vet-clean tree (no unreachable code, no misused builtins), so stock
+# vet findings would only show up here as noise. The -json artifact is
+# what CI uploads; on failure we print it so the findings are visible in
+# the log too.
+echo "==> cedarvet (hot-path allocs, layering, concurrency, error flow, determinism)"
+mkdir -p artifacts
+if ! go run ./cmd/cedarvet -json ./... > artifacts/cedarvet.json; then
+  cat artifacts/cedarvet.json
+  echo "cedarvet: findings (see artifacts/cedarvet.json)" >&2
+  exit 1
+fi
 
 echo "==> go test ./..."
 go test ./...
