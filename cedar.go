@@ -30,6 +30,7 @@
 package cedar
 
 import (
+	"cedar/internal/bench"
 	"cedar/internal/ce"
 	"cedar/internal/cfrt"
 	"cedar/internal/core"
@@ -394,3 +395,50 @@ var RunDegraded = tables.RunDegraded
 
 // FormatDegraded renders the degraded-mode table.
 var FormatDegraded = tables.FormatDegraded
+
+// Benchmarking: the cedarbench campaign runner (see internal/bench). A
+// BenchCampaign declares a matrix of (machine × workload × fault plan);
+// RunBenchCampaign executes every point through the fleet pool and
+// returns a BenchArtifact whose deterministic section (simcycles, scope
+// counters, attribution, cache rates) is byte-identical at any worker
+// count, with wall time and allocations kept in a separate measured
+// section. cmd/cedarbench is the CLI face; scripts/check.sh runs the
+// smoke campaign and diffs against the committed baseline on every PR.
+type (
+	// BenchCampaign is one declarative benchmark matrix.
+	BenchCampaign = bench.Campaign
+	// BenchMachineSpec is one machine axis entry (default Cedar plus
+	// named overrides).
+	BenchMachineSpec = bench.MachineSpec
+	// BenchWorkloadSpec is one workload axis entry (a paper kernel plus
+	// sizing).
+	BenchWorkloadSpec = bench.WorkloadSpec
+	// BenchFaultSpec is one fault axis entry (healthy, demo, file or
+	// inline plan).
+	BenchFaultSpec = bench.FaultSpec
+	// BenchArtifact is a campaign execution (a BENCH_<area>.json file).
+	BenchArtifact = bench.Artifact
+	// BenchRunOptions tunes a campaign execution (jobs override, wall
+	// clock, progress writer).
+	BenchRunOptions = bench.RunOptions
+	// BenchDiffOptions sets the regression thresholds for a diff.
+	BenchDiffOptions = bench.DiffOptions
+	// BenchDiffReport is the outcome of comparing two artifacts.
+	BenchDiffReport = bench.DiffReport
+)
+
+// LoadBenchCampaign reads and validates a campaign config file.
+var LoadBenchCampaign = bench.Load
+
+// SmokeBenchCampaign returns the built-in smoke campaign check.sh runs.
+var SmokeBenchCampaign = bench.Smoke
+
+// RunBenchCampaign executes a campaign and returns its artifact.
+var RunBenchCampaign = bench.Run
+
+// ReadBenchArtifact loads a BENCH_<area>.json artifact file.
+var ReadBenchArtifact = bench.ReadArtifact
+
+// DiffBenchArtifacts compares a new artifact against an old baseline,
+// flagging simcycle and allocation regressions past the thresholds.
+var DiffBenchArtifacts = bench.Diff

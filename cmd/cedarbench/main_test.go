@@ -1,0 +1,148 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cedar/internal/bench"
+)
+
+// miniConfig is a one-point campaign small enough for CLI tests.
+const miniConfig = `{
+  "area": "mini",
+  "machines": [{"name": "cedar"}],
+  "workloads": [{"name": "vl", "kind": "vectorload", "n": 256}],
+  "jobs": [1, 2]
+}`
+
+// write puts content in dir/name and returns the path.
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunModeProducesArtifact(t *testing.T) {
+	dir := t.TempDir()
+	cfg := write(t, dir, "c.json", miniConfig)
+	out := filepath.Join(dir, "BENCH_mini.json")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"run", "-config", cfg, "-out", out, "-q"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	art, err := bench.ReadArtifact(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Header.Area != "mini" || len(art.Deterministic.Points) != 1 || len(art.Measured.Runs) != 2 {
+		t.Fatalf("unexpected artifact: %+v", art.Header)
+	}
+	if art.Measured.Runs[0].WallNS == 0 {
+		t.Error("CLI runs should record wall time")
+	}
+	if len(art.Measured.Points) != 1 {
+		t.Error("CLI runs should record per-point wall times")
+	}
+}
+
+func TestRunModeWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cfg := write(t, dir, "c.json", miniConfig)
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"run", "-config", cfg, "-out", filepath.Join(dir, "a.json"),
+		"-q", "-jobs", "1", "-cpuprofile", cpu, "-memprofile", mem}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	for _, p := range []string{cpu, mem} {
+		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
+			t.Errorf("profile %s missing or empty (err=%v)", p, err)
+		}
+	}
+}
+
+func TestExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	cfg := write(t, dir, "c.json", miniConfig)
+	badCfg := write(t, dir, "bad.json", `{"area":"x"}`)
+
+	// Build one good artifact, then a mutated copy with a 10% simcycle
+	// regression and a plain copy for the clean diff.
+	base := filepath.Join(dir, "base.json")
+	var out, errb bytes.Buffer
+	if code := run([]string{"run", "-config", cfg, "-out", base, "-q", "-jobs", "1"}, &out, &errb); code != 0 {
+		t.Fatalf("setup run failed: %s", errb.String())
+	}
+	art, err := bench.ReadArtifact(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	art.Deterministic.Points[0].SimCycles = art.Deterministic.Points[0].SimCycles * 11 / 10
+	worse := filepath.Join(dir, "worse.json")
+	if err := art.Write(worse); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"no mode", nil, 2},
+		{"unknown mode", []string{"frobnicate"}, 2},
+		{"run bad flag", []string{"run", "-no-such-flag"}, 2},
+		{"run bad jobs", []string{"run", "-jobs", "-3"}, 2},
+		{"run missing config", []string{"run", "-config", filepath.Join(dir, "nope.json")}, 2},
+		{"run invalid config", []string{"run", "-config", badCfg}, 2},
+		{"diff missing args", []string{"diff", base}, 2},
+		{"diff missing file", []string{"diff", base, filepath.Join(dir, "nope.json")}, 2},
+		{"diff bad threshold", []string{"diff", base, base, "-threshold", "lots"}, 2},
+		{"diff clean", []string{"diff", base, base}, 0},
+		{"diff regression", []string{"diff", base, worse}, 1},
+		{"diff regression flags first", []string{"diff", "-threshold", "5%", base, worse}, 1},
+		{"diff wide threshold absorbs", []string{"diff", base, worse, "-threshold", "20%"}, 0},
+	}
+	for _, tc := range cases {
+		var stdout, stderr bytes.Buffer
+		if got := run(tc.args, &stdout, &stderr); got != tc.want {
+			t.Errorf("%s: exit %d, want %d (stderr: %s)", tc.name, got, tc.want, stderr.String())
+		}
+	}
+
+	// The regression diff names the offending point.
+	var stdout, stderr bytes.Buffer
+	run([]string{"diff", base, worse}, &stdout, &stderr)
+	if !strings.Contains(stdout.String(), "REGRESSION") || !strings.Contains(stdout.String(), "simcycles") {
+		t.Errorf("regression output: %q", stdout.String())
+	}
+}
+
+func TestParseThreshold(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+		ok   bool
+	}{
+		{"5%", 0.05, true},
+		{"0.05", 0.05, true},
+		{" 30% ", 0.30, true},
+		{"0", 0, true},
+		{"-5%", 0, false},
+		{"lots", 0, false},
+		{"%", 0, false},
+	}
+	for _, tc := range cases {
+		got, err := parseThreshold(tc.in)
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Errorf("parseThreshold(%q) = %v, %v; want %v, ok=%v", tc.in, got, err, tc.want, tc.ok)
+		}
+	}
+}

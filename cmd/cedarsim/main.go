@@ -21,6 +21,8 @@
 // independent experiment points in parallel; output is byte-identical at
 // any job count. -faults installs a seed-deterministic fault plan for
 // every machine the command builds and adds the degraded-mode table.
+// -cpuprofile/-memprofile write pprof profiles of the run; -json output
+// leads with a self-describing run-metadata header.
 package main
 
 import (
@@ -32,24 +34,34 @@ import (
 	"os"
 
 	"cedar/internal/cliutil"
+	"cedar/internal/fleet"
 	"cedar/internal/scope"
 	"cedar/internal/tables"
 )
 
 // emit prints either the formatted table or its JSON representation.
-// With a hub attached, the JSON carries the experiment's slice of the
-// metrics registry alongside the result.
-func emit(w io.Writer, asJSON bool, hub *scope.Hub, prefix string, v interface{}, format func() string) error {
+// JSON output leads with the run-metadata header (schema, tool, jobs,
+// fault plan), making every artifact self-describing; with a hub
+// attached it also carries the experiment's slice of the metrics
+// registry alongside the result. The header is the only jobs-dependent
+// part — byte comparisons across -jobs values look at result+metrics.
+func emit(w io.Writer, asJSON bool, hub *scope.Hub, meta cliutil.Meta, prefix string, v interface{}, format func() string) error {
 	if !asJSON {
 		_, err := fmt.Fprintln(w, format())
 		return err
 	}
-	var out interface{} = v
+	var out interface{}
 	if hub != nil {
 		out = struct {
+			Header  cliutil.Meta   `json:"header"`
 			Result  interface{}    `json:"result"`
 			Metrics []scope.Sample `json:"metrics"`
-		}{v, hub.SnapshotUnder(prefix)}
+		}{meta, v, hub.SnapshotUnder(prefix)}
+	} else {
+		out = struct {
+			Header cliutil.Meta `json:"header"`
+			Result interface{}  `json:"result"`
+		}{meta, v}
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -80,6 +92,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		metrics   = fs.String("metrics", "", "write the metrics snapshot as CSV")
 		jobs      = fs.Int("jobs", 0, "parallel experiment jobs (0 = GOMAXPROCS); output is identical at any value")
 		faults    = fs.String("faults", "", "JSON fault plan (or \"demo\") injected into every simulated machine")
+		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = fs.String("memprofile", "", "write a heap profile to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -89,12 +103,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 		lg.Print(err)
 		return 2
 	}
+	prof, err := cliutil.StartProfiles(*cpuProf, *memProf)
+	if err != nil {
+		lg.Print(err)
+		return 2
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			lg.Print(err)
+		}
+	}()
+	meta := cliutil.NewMeta("cedarsim", plan)
 
 	// The hub exists whenever an artifact or JSON metrics are wanted;
 	// otherwise machines are built uninstrumented at zero cost.
 	var hub *scope.Hub
 	if *tracePath != "" || *metrics != "" || *asJSON {
 		hub = scope.NewHub()
+		// Surface the shared run cache's counters in -metrics output.
+		// (Observed experiments always execute rather than consult the
+		// cache, so these stay zero and artifacts stay byte-stable.)
+		fleet.PublishMetrics(hub)
 	}
 
 	ran := false
@@ -105,7 +134,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			lg.Print(err)
 			return 1
 		}
-		if err := emit(stdout, *asJSON, hub, "overheads", ov, ov.Format); err != nil {
+		if err := emit(stdout, *asJSON, hub, meta, "overheads", ov, ov.Format); err != nil {
 			lg.Print(err)
 			return 1
 		}
@@ -117,7 +146,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			lg.Print(err)
 			return 1
 		}
-		if err := emit(stdout, *asJSON, hub, "t1", t1, t1.Format); err != nil {
+		if err := emit(stdout, *asJSON, hub, meta, "t1", t1, t1.Format); err != nil {
 			lg.Print(err)
 			return 1
 		}
@@ -135,7 +164,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			lg.Print(err)
 			return 1
 		}
-		if err := emit(stdout, *asJSON, hub, "t2", t2, t2.Format); err != nil {
+		if err := emit(stdout, *asJSON, hub, meta, "t2", t2, t2.Format); err != nil {
 			lg.Print(err)
 			return 1
 		}
@@ -147,7 +176,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			lg.Print(err)
 			return 1
 		}
-		if err := emit(stdout, *asJSON, hub, "net", rows, func() string { return tables.FormatNetworkAblation(rows) }); err != nil {
+		if err := emit(stdout, *asJSON, hub, meta, "net", rows, func() string { return tables.FormatNetworkAblation(rows) }); err != nil {
 			lg.Print(err)
 			return 1
 		}
@@ -159,7 +188,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			lg.Print(err)
 			return 1
 		}
-		if err := emit(stdout, *asJSON, hub, "sched", rows, func() string { return tables.FormatScheduling(rows) }); err != nil {
+		if err := emit(stdout, *asJSON, hub, meta, "sched", rows, func() string { return tables.FormatScheduling(rows) }); err != nil {
 			lg.Print(err)
 			return 1
 		}
@@ -171,7 +200,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			lg.Print(err)
 			return 1
 		}
-		if err := emit(stdout, *asJSON, hub, "prefblock", rows, func() string { return tables.FormatPrefetchBlock(rows) }); err != nil {
+		if err := emit(stdout, *asJSON, hub, meta, "prefblock", rows, func() string { return tables.FormatPrefetchBlock(rows) }); err != nil {
 			lg.Print(err)
 			return 1
 		}
@@ -183,7 +212,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			lg.Print(err)
 			return 1
 		}
-		if err := emit(stdout, *asJSON, hub, "scaled", rows, func() string { return tables.FormatScaled(rows) }); err != nil {
+		if err := emit(stdout, *asJSON, hub, meta, "scaled", rows, func() string { return tables.FormatScaled(rows) }); err != nil {
 			lg.Print(err)
 			return 1
 		}
@@ -195,7 +224,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			lg.Print(err)
 			return 1
 		}
-		if err := emit(stdout, *asJSON, hub, "membw", bw, bw.Format); err != nil {
+		if err := emit(stdout, *asJSON, hub, meta, "membw", bw, bw.Format); err != nil {
 			lg.Print(err)
 			return 1
 		}
@@ -207,7 +236,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			lg.Print(err)
 			return 1
 		}
-		if err := emit(stdout, *asJSON, hub, "degraded", rows, func() string { return tables.FormatDegraded(rows) }); err != nil {
+		if err := emit(stdout, *asJSON, hub, meta, "degraded", rows, func() string { return tables.FormatDegraded(rows) }); err != nil {
 			lg.Print(err)
 			return 1
 		}

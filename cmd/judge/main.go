@@ -23,6 +23,7 @@ import (
 	"os"
 
 	"cedar/internal/cliutil"
+	"cedar/internal/fleet"
 	"cedar/internal/params"
 	"cedar/internal/scope"
 	"cedar/internal/tables"
@@ -47,6 +48,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		metrics   = fs.String("metrics", "", "write the metrics snapshot as CSV")
 		jobs      = fs.Int("jobs", 0, "parallel experiment jobs (0 = GOMAXPROCS); output is identical at any value")
 		faults    = fs.String("faults", "", "JSON fault plan (or \"demo\") injected into every simulated machine")
+		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = fs.String("memprofile", "", "write a heap profile to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -55,10 +58,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		lg.Print(err)
 		return 2
 	}
+	prof, err := cliutil.StartProfiles(*cpuProf, *memProf)
+	if err != nil {
+		lg.Print(err)
+		return 2
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			lg.Print(err)
+		}
+	}()
 
 	var hub *scope.Hub
 	if *tracePath != "" || *metrics != "" {
 		hub = scope.NewHub()
+		fleet.PublishMetrics(hub)
 	}
 
 	if !*ppt4Only || *all {

@@ -138,8 +138,10 @@ func TestParallelVsSequentialEquality(t *testing.T) {
 		rep.WriteString(bw.Format())
 		rep.WriteString(cedar.FormatAttribution(hub.Attribution()))
 
-		// The cedarsim -json shape: result plus the experiment's metric
-		// slice.
+		// The payload of the cedarsim -json shape: result plus the
+		// experiment's metric slice. The run-metadata header is omitted
+		// on purpose — it records the jobs value, the one field allowed
+		// to differ between byte-compared runs.
 		jsonOut, err := json.MarshalIndent(struct {
 			Result  *cedar.Table1Result  `json:"result"`
 			Metrics []cedar.MetricSample `json:"metrics"`

@@ -1,0 +1,317 @@
+// Package bench is the declarative performance-campaign runner — the
+// measurement substrate for the repo's own performance story. A Campaign
+// is one JSON config declaring a matrix of (machine parameters ×
+// workload × fault plan), plus the worker counts to execute it at; Run
+// drives every point through the cedarfleet pool (reusing the run cache
+// and single-flight path) and emits a BENCH_<area>.json Artifact whose
+// deterministic section — simcycles, scope counter snapshots,
+// busy/stall/idle attribution, fleet cache rates — is byte-identical at
+// any -jobs value, while measured fields (wall time, allocations) live
+// in a separate section excluded from byte comparisons. Diff compares
+// two artifacts against a regression threshold; cmd/cedarbench is the
+// CLI face and scripts/check.sh runs the smoke campaign every PR so the
+// perf trajectory extends one artifact at a time.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"cedar/internal/core"
+	"cedar/internal/fault"
+	"cedar/internal/params"
+)
+
+// SchemaVersion identifies the campaign-config and artifact wire format.
+// Bump it on any incompatible change so old baselines fail loudly in
+// Diff instead of comparing apples to oranges.
+const SchemaVersion = 1
+
+// Campaign declares one benchmark matrix. The experiment points are the
+// cross product Machines × Workloads × Faults; every point is one whole
+// machine simulation dispatched to the fleet pool.
+type Campaign struct {
+	// Schema is the config format version; 0 means "current".
+	Schema int `json:"schema,omitempty"`
+	// Area names the artifact: results are written as BENCH_<area>.json.
+	Area string `json:"area"`
+	// Notes is free-form provenance copied into the artifact header.
+	Notes string `json:"notes,omitempty"`
+	// Machines, Workloads and Faults are the matrix axes. Faults may be
+	// empty, which means a single healthy entry.
+	Machines  []MachineSpec  `json:"machines"`
+	Workloads []WorkloadSpec `json:"workloads"`
+	Faults    []FaultSpec    `json:"faults,omitempty"`
+	// Jobs lists the fleet worker counts to execute the matrix at, one
+	// full pass per value against a fresh private run cache. The
+	// deterministic section must agree byte-for-byte across passes (Run
+	// verifies this); the measured section records one wall-time and
+	// allocation entry per pass. Empty means a single pass at 1.
+	Jobs []int `json:"jobs,omitempty"`
+	// Metrics lists the scope counter/gauge name prefixes captured into
+	// each point's deterministic record ("gmem.", "pfu.", ...). Empty
+	// selects DefaultMetrics. A whole-machine snapshot would bloat the
+	// committed artifacts, so points carry a curated slice.
+	Metrics []string `json:"metrics,omitempty"`
+
+	// baseDir resolves relative fault-plan paths; set by Load.
+	baseDir string
+}
+
+// DefaultMetrics is the metric-prefix filter applied when a campaign
+// does not name its own.
+var DefaultMetrics = []string{"engine.cycle", "gmem.", "pfu.", "fault."}
+
+// MachineSpec is one machine axis entry: the default Cedar with named
+// overrides. Zero fields keep the paper configuration.
+type MachineSpec struct {
+	Name string `json:"name"`
+	// Scaled, when > 0, starts from params.Scaled(Scaled) — the PPT5
+	// scaled-Cedar base — instead of params.Default().
+	Scaled        int `json:"scaled,omitempty"`
+	Clusters      int `json:"clusters,omitempty"`
+	CEsPerCluster int `json:"ces_per_cluster,omitempty"`
+	MemModules    int `json:"mem_modules,omitempty"`
+	NetQueueWords int `json:"net_queue_words,omitempty"`
+	// Fabric selects the interconnect: "", "omega" or "crossbar".
+	Fabric string `json:"fabric,omitempty"`
+}
+
+// Params materializes the machine parameter set.
+func (ms MachineSpec) Params() params.Machine {
+	p := params.Default()
+	if ms.Scaled > 0 {
+		p = params.Scaled(ms.Scaled)
+	}
+	if ms.Clusters > 0 {
+		p.Clusters = ms.Clusters
+	}
+	if ms.CEsPerCluster > 0 {
+		p.CEsPerCluster = ms.CEsPerCluster
+	}
+	if ms.MemModules > 0 {
+		p.MemModules = ms.MemModules
+	}
+	if ms.NetQueueWords > 0 {
+		p.NetQueueWords = ms.NetQueueWords
+	}
+	return p
+}
+
+// fabricKind maps the spec's fabric name to the core option.
+func (ms MachineSpec) fabricKind() (core.FabricKind, error) {
+	switch ms.Fabric {
+	case "", "omega":
+		return core.FabricOmega, nil
+	case "crossbar":
+		return core.FabricCrossbar, nil
+	}
+	return core.FabricOmega, fmt.Errorf("bench: machine %q: unknown fabric %q (want omega or crossbar)", ms.Name, ms.Fabric)
+}
+
+// WorkloadSpec is one workload axis entry: a paper kernel plus its
+// sizing. Kind selects the kernel; the other fields parameterize it and
+// unused ones must stay zero.
+type WorkloadSpec struct {
+	Name string `json:"name"`
+	// Kind is one of "rank" (rank-64 update; Variant selects the memory
+	// mode), "vectorload", "trimat", "cg", or "banded".
+	Kind string `json:"kind"`
+	// N is the problem order; a kind-specific default applies when 0.
+	N int `json:"n,omitempty"`
+	// Variant selects the rank-update memory mode: "nopref", "pref"
+	// (default) or "cache".
+	Variant string `json:"variant,omitempty"`
+	// Sweeps is the vectorload sweep count (default 1).
+	Sweeps int `json:"sweeps,omitempty"`
+	// Iters is the CG iteration count (default 2).
+	Iters int `json:"iters,omitempty"`
+	// BW is the banded-matvec diagonal count (default 11).
+	BW int `json:"bw,omitempty"`
+	// MaxCEs restricts the processor count for cg/banded; 0 = all.
+	MaxCEs int `json:"max_ces,omitempty"`
+}
+
+// FaultSpec is one fault axis entry: no plan (healthy), the built-in
+// demo plan, a plan file, or an inline plan. At most one source may be
+// set.
+type FaultSpec struct {
+	Name string `json:"name"`
+	// Demo selects fault.DemoPlan (dead bank + stage jam + NACKs).
+	Demo bool `json:"demo,omitempty"`
+	// Path names a JSON plan file, resolved relative to the campaign
+	// config file when not absolute.
+	Path string `json:"path,omitempty"`
+	// Plan is an inline plan.
+	Plan *fault.Plan `json:"plan,omitempty"`
+}
+
+// resolve loads the spec's plan (nil for a healthy entry).
+func (fs FaultSpec) resolve(baseDir string) (*fault.Plan, error) {
+	sources := 0
+	for _, set := range []bool{fs.Demo, fs.Path != "", fs.Plan != nil} {
+		if set {
+			sources++
+		}
+	}
+	if sources > 1 {
+		return nil, fmt.Errorf("bench: fault %q: demo, path and plan are mutually exclusive", fs.Name)
+	}
+	switch {
+	case fs.Demo:
+		return fault.DemoPlan(), nil
+	case fs.Path != "":
+		path := fs.Path
+		if !filepath.IsAbs(path) && baseDir != "" {
+			path = filepath.Join(baseDir, path)
+		}
+		return fault.Load(path)
+	case fs.Plan != nil:
+		if err := fs.Plan.Validate(); err != nil {
+			return nil, fmt.Errorf("bench: fault %q: %w", fs.Name, err)
+		}
+		return fs.Plan, nil
+	}
+	return nil, nil
+}
+
+// workloadKinds names the valid WorkloadSpec.Kind values.
+var workloadKinds = map[string]bool{
+	"rank": true, "vectorload": true, "trimat": true, "cg": true, "banded": true,
+}
+
+// Validate checks the campaign against the schema: a named area, at
+// least one entry per mandatory axis, unique non-empty names, known
+// kinds, and positive jobs values. Fault plans are validated when
+// resolved at run time (files may legitimately not exist yet at config
+// authoring time).
+func (c *Campaign) Validate() error {
+	if c.Schema != 0 && c.Schema != SchemaVersion {
+		return fmt.Errorf("bench: campaign schema %d not supported (tool speaks %d)", c.Schema, SchemaVersion)
+	}
+	if c.Area == "" {
+		return fmt.Errorf("bench: campaign needs an area (names the BENCH_<area>.json artifact)")
+	}
+	if strings.ContainsAny(c.Area, "/\\ ") {
+		return fmt.Errorf("bench: area %q must be a bare token (it becomes a file name)", c.Area)
+	}
+	if len(c.Machines) == 0 {
+		return fmt.Errorf("bench: campaign needs at least one machine")
+	}
+	if len(c.Workloads) == 0 {
+		return fmt.Errorf("bench: campaign needs at least one workload")
+	}
+	check := func(axis, name string, seen map[string]bool) error {
+		if name == "" {
+			return fmt.Errorf("bench: every %s needs a name", axis)
+		}
+		if strings.Contains(name, "/") {
+			return fmt.Errorf("bench: %s name %q must not contain '/' (names join into point IDs)", axis, name)
+		}
+		if seen[name] {
+			return fmt.Errorf("bench: duplicate %s name %q", axis, name)
+		}
+		seen[name] = true
+		return nil
+	}
+	seen := map[string]bool{}
+	for _, m := range c.Machines {
+		if err := check("machine", m.Name, seen); err != nil {
+			return err
+		}
+		if _, err := m.fabricKind(); err != nil {
+			return err
+		}
+	}
+	seen = map[string]bool{}
+	for _, w := range c.Workloads {
+		if err := check("workload", w.Name, seen); err != nil {
+			return err
+		}
+		if !workloadKinds[w.Kind] {
+			return fmt.Errorf("bench: workload %q: unknown kind %q (want one of %s)",
+				w.Name, w.Kind, strings.Join(kindList(), ", "))
+		}
+		if w.Kind == "rank" {
+			switch w.Variant {
+			case "", "nopref", "pref", "cache":
+			default:
+				return fmt.Errorf("bench: workload %q: unknown rank variant %q (want nopref, pref or cache)", w.Name, w.Variant)
+			}
+		}
+		if w.N < 0 || w.Sweeps < 0 || w.Iters < 0 || w.BW < 0 || w.MaxCEs < 0 {
+			return fmt.Errorf("bench: workload %q: sizes must be non-negative", w.Name)
+		}
+	}
+	seen = map[string]bool{}
+	for _, f := range c.Faults {
+		if err := check("fault", f.Name, seen); err != nil {
+			return err
+		}
+	}
+	for _, j := range c.Jobs {
+		if j < 1 {
+			return fmt.Errorf("bench: jobs values must be ≥ 1, got %d", j)
+		}
+	}
+	return nil
+}
+
+func kindList() []string {
+	return []string{"banded", "cg", "rank", "trimat", "vectorload"}
+}
+
+// Load reads and validates a campaign config file. Relative fault-plan
+// paths inside the config resolve against the config file's directory,
+// so campaigns stay relocatable.
+func Load(path string) (*Campaign, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("bench: %w", err)
+	}
+	dec := json.NewDecoder(strings.NewReader(string(b)))
+	dec.DisallowUnknownFields()
+	var c Campaign
+	if err := dec.Decode(&c); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	c.baseDir = filepath.Dir(path)
+	return &c, nil
+}
+
+// Smoke is the built-in smoke campaign — what `cedarbench run` with no
+// -config executes, and what bench/campaigns/smoke.json mirrors (a test
+// keeps them in sync). It is sized to finish in well under a minute so
+// scripts/check.sh can extend the perf trajectory on every PR: three
+// machine variants (as built, two-cluster, crossbar fabric) × four
+// kernels × (healthy, demo faults), at one and eight workers.
+func Smoke() *Campaign {
+	return &Campaign{
+		Schema: SchemaVersion,
+		Area:   "smoke",
+		Notes:  "standing smoke campaign run by scripts/check.sh; see DESIGN.md 'Benchmarking: cedarbench'",
+		Machines: []MachineSpec{
+			{Name: "cedar"},
+			{Name: "cedar-2cl", Clusters: 2},
+			{Name: "cedar-xbar", Fabric: "crossbar"},
+		},
+		Workloads: []WorkloadSpec{
+			{Name: "rank48-pref", Kind: "rank", N: 48, Variant: "pref"},
+			{Name: "rank48-cache", Kind: "rank", N: 48, Variant: "cache"},
+			{Name: "vl1k", Kind: "vectorload", N: 1024, Sweeps: 1},
+			{Name: "cg64", Kind: "cg", N: 64, Iters: 2},
+		},
+		Faults: []FaultSpec{
+			{Name: "healthy"},
+			{Name: "demo", Demo: true},
+		},
+		Jobs:    []int{1, 8},
+		Metrics: []string{"engine.cycle", "gmem.", "pfu.", "fault."},
+	}
+}

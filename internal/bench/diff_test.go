@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// fix builds a two-point artifact with measured runs for diff tests.
+func fix() *Artifact {
+	return &Artifact{
+		Header: Header{Schema: SchemaVersion, Tool: "cedarbench", Area: "t", Jobs: []int{1}, Points: 2},
+		Deterministic: Deterministic{
+			Points: []PointResult{
+				{ID: "m/w1/healthy", Outcome: Outcome{Status: "ok", SimCycles: 1000}},
+				{ID: "m/w2/healthy", Outcome: Outcome{Status: "ok", SimCycles: 2000}},
+			},
+			Fleet: FleetStats{Lookups: 2, Misses: 2},
+		},
+		Measured: Measured{Runs: []RunMeasure{{Jobs: 1, Mallocs: 10000, AllocBytes: 1 << 20}}},
+	}
+}
+
+func TestDiffNoChange(t *testing.T) {
+	r, err := Diff(fix(), fix(), DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.HasRegressions() || len(r.Improvements) != 0 || len(r.Notes) != 0 {
+		t.Fatalf("identical artifacts should be clean: %s", r.Format())
+	}
+	if !strings.Contains(r.Format(), "no change") {
+		t.Fatalf("clean format: %q", r.Format())
+	}
+}
+
+func TestDiffFlagsSimcycleRegression(t *testing.T) {
+	n := fix()
+	n.Deterministic.Points[0].SimCycles = 1100 // +10% > 5% default
+	r, err := Diff(fix(), n, DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Regressions) != 1 || r.Regressions[0].Metric != "simcycles" || r.Regressions[0].ID != "m/w1/healthy" {
+		t.Fatalf("want one simcycle regression: %s", r.Format())
+	}
+	// A wider threshold absorbs the same delta.
+	r, err = Diff(fix(), n, DiffOptions{CycleThreshold: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.HasRegressions() {
+		t.Fatalf("15%% threshold should absorb a 10%% delta: %s", r.Format())
+	}
+}
+
+func TestDiffFlagsImprovementAndStatusChange(t *testing.T) {
+	n := fix()
+	n.Deterministic.Points[1].SimCycles = 1500 // -25%
+	n.Deterministic.Points[1].Status = "degraded"
+	r, err := Diff(fix(), n, DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.HasRegressions() {
+		t.Fatalf("improvement must not fail the diff: %s", r.Format())
+	}
+	if len(r.Improvements) != 1 || r.Improvements[0].ID != "m/w2/healthy" {
+		t.Fatalf("want one improvement: %s", r.Format())
+	}
+	if len(r.Notes) != 1 || !strings.Contains(r.Notes[0], "degraded") {
+		t.Fatalf("status flip should be noted: %v", r.Notes)
+	}
+}
+
+func TestDiffMissingPointIsRegression(t *testing.T) {
+	n := fix()
+	n.Deterministic.Points = n.Deterministic.Points[:1]
+	r, err := Diff(fix(), n, DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Regressions) != 1 || r.Regressions[0].ID != "m/w2/healthy" {
+		t.Fatalf("vanished point must regress: %s", r.Format())
+	}
+}
+
+func TestDiffNewPointIsNote(t *testing.T) {
+	n := fix()
+	n.Deterministic.Points = append(n.Deterministic.Points,
+		PointResult{ID: "m/w3/healthy", Outcome: Outcome{Status: "ok", SimCycles: 10}})
+	r, err := Diff(fix(), n, DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.HasRegressions() || len(r.Notes) != 1 || !strings.Contains(r.Notes[0], "new point") {
+		t.Fatalf("added point should be a note: %s", r.Format())
+	}
+}
+
+func TestDiffFlagsAllocRegression(t *testing.T) {
+	n := fix()
+	n.Measured.Runs[0].Mallocs = 15000 // +50% > 30% default
+	r, err := Diff(fix(), n, DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Regressions) != 1 || r.Regressions[0].Metric != "mallocs" {
+		t.Fatalf("want one alloc regression: %s", r.Format())
+	}
+	// Runs are matched by jobs value: a pass the baseline never ran is
+	// not comparable.
+	n.Measured.Runs[0].Jobs = 8
+	r, err = Diff(fix(), n, DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.HasRegressions() {
+		t.Fatalf("unmatched jobs pass must not compare: %s", r.Format())
+	}
+}
+
+func TestDiffRejectsMismatchedAreasAndBadThresholds(t *testing.T) {
+	n := fix()
+	n.Header.Area = "other"
+	if _, err := Diff(fix(), n, DiffOptions{}); err == nil {
+		t.Fatal("cross-area diff should error")
+	}
+	if _, err := Diff(fix(), fix(), DiffOptions{CycleThreshold: -1}); err == nil {
+		t.Fatal("negative threshold should error")
+	}
+}

@@ -12,6 +12,8 @@
 package fault
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -215,6 +217,19 @@ func (p *Plan) Fingerprint() string {
 		return ""
 	}
 	return fmt.Sprintf("%d:%#v", p.Seed, p.Faults)
+}
+
+// Hash returns a short content hash of the plan — 16 hex digits of the
+// SHA-256 of Fingerprint — for run-metadata headers, where the full
+// fingerprint (a %#v dump of every fault) would be noise. Nil and empty
+// plans hash to "".
+func (p *Plan) Hash() string {
+	fp := p.Fingerprint()
+	if fp == "" {
+		return ""
+	}
+	sum := sha256.Sum256([]byte(fp))
+	return hex.EncodeToString(sum[:8])
 }
 
 // defaultPlan holds the process-wide plan installed by the CLIs'

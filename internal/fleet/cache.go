@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"cedar/internal/fault"
+	"cedar/internal/scope"
 )
 
 // Cache is a content-addressed, single-flight run cache: the first job to
@@ -14,15 +15,73 @@ import (
 // key wait for it, and later presenters reuse it outright. Simulations are
 // deterministic, so a cached outcome is indistinguishable from a re-run.
 type Cache struct {
-	mu sync.Mutex
-	m  map[string]*entry
+	mu    sync.Mutex
+	m     map[string]*entry
+	stats CacheStats
 }
 
 type entry struct {
 	done chan struct{}
-	val  any
-	err  error
+	// complete flips under mu once the value is stored, so lookups can
+	// classify themselves as hit (finished entry) or coalesced (in-flight
+	// entry) without a non-blocking channel read.
+	complete bool
+	val      any
+	err      error
 }
+
+// CacheStats counts run-cache activity. Every keyed, unobserved job is
+// exactly one lookup; single flight guarantees each distinct key is
+// computed once, so Lookups, Misses and Served (= Hits + Coalesced) are
+// deterministic at any worker count. Only the Hits/Coalesced split is
+// timing-dependent: whether a repeat presenter found the first
+// computation finished or still in flight depends on scheduling.
+// Byte-compared artifacts must therefore report Served, never the split.
+type CacheStats struct {
+	Lookups   int64 // keyed jobs presented to the cache
+	Misses    int64 // first presentations, each computed exactly once
+	Hits      int64 // served from a finished entry
+	Coalesced int64 // waited on an in-flight computation of the same key
+}
+
+// Served returns the lookups answered without a fresh computation.
+func (s CacheStats) Served() int64 { return s.Hits + s.Coalesced }
+
+// HitRate returns Served over Lookups (0 when the cache was never
+// consulted). Deterministic at any worker count, per CacheStats.
+func (s CacheStats) HitRate() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.Served()) / float64(s.Lookups)
+}
+
+// Stats returns a snapshot of the cache's counters. Counters are
+// monotonic for the life of the cache: Clear empties the entries but
+// keeps the counts, so scope can publish them as counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Publish registers the cache's counters and entry count on h under the
+// fleet.cache.* namespace. Note the Hits/Coalesced caveat on CacheStats:
+// runs that must be byte-identical across -jobs values should only rely
+// on lookups, misses and the derived served count. (CLI runs that build
+// a hub never consult the cache — observed jobs always execute — so for
+// them these read as zeros and artifacts stay byte-stable regardless.)
+func (c *Cache) Publish(h *scope.Hub) {
+	h.Counter("fleet.cache.lookups", func() int64 { return c.Stats().Lookups })
+	h.Counter("fleet.cache.misses", func() int64 { return c.Stats().Misses })
+	h.Counter("fleet.cache.hits", func() int64 { return c.Stats().Hits })
+	h.Counter("fleet.cache.coalesced", func() int64 { return c.Stats().Coalesced })
+	h.Gauge("fleet.cache.entries", func() int64 { return int64(c.Len()) })
+}
+
+// PublishMetrics registers the process-wide shared run cache on h — what
+// the CLIs call so -metrics output carries fleet.cache.* counters.
+func PublishMetrics(h *scope.Hub) { shared.Publish(h) }
 
 // NewCache returns an empty cache.
 func NewCache() *Cache {
@@ -44,15 +103,25 @@ func ResetCache() { shared.Clear() }
 // simulator is deterministic, so a failing configuration fails again.
 func (c *Cache) do(key string, compute func() (any, error)) (any, error) {
 	c.mu.Lock()
+	c.stats.Lookups++
 	if e, ok := c.m[key]; ok {
+		if e.complete {
+			c.stats.Hits++
+		} else {
+			c.stats.Coalesced++
+		}
 		c.mu.Unlock()
 		<-e.done
 		return e.val, e.err
 	}
+	c.stats.Misses++
 	e := &entry{done: make(chan struct{})}
 	c.m[key] = e
 	c.mu.Unlock()
 	e.val, e.err = compute()
+	c.mu.Lock()
+	e.complete = true
+	c.mu.Unlock()
 	close(e.done)
 	return e.val, e.err
 }

@@ -279,3 +279,89 @@ func TestKeySeesDefaultFaultPlan(t *testing.T) {
 		t.Fatalf("healthy key unstable: %q vs %q", again, healthy)
 	}
 }
+
+// TestCacheStatsDeterministicAtAnyWorkerCount: lookups, misses and the
+// served count (hits + coalesced) must not depend on scheduling; only the
+// hit/coalesce split may. This is the contract cedarbench's deterministic
+// artifact section rests on.
+func TestCacheStatsDeterministicAtAnyWorkerCount(t *testing.T) {
+	counts := func(workers int) CacheStats {
+		cache := NewCache()
+		jobs := make([]Job[int], 12)
+		for i := range jobs {
+			// Four distinct keys, each presented three times.
+			key := fmt.Sprintf("point-%d", i%4)
+			jobs[i] = Job[int]{Key: key, Run: func(*scope.Hub) (int, error) { return i, nil }}
+		}
+		if _, err := Run(Config{Jobs: workers, Cache: cache}, jobs); err != nil {
+			t.Fatal(err)
+		}
+		return cache.Stats()
+	}
+	for _, workers := range []int{1, 8} {
+		st := counts(workers)
+		if st.Lookups != 12 || st.Misses != 4 || st.Served() != 8 {
+			t.Errorf("workers=%d: stats %+v, want 12 lookups, 4 misses, 8 served", workers, st)
+		}
+		if got, want := st.HitRate(), 8.0/12.0; got != want {
+			t.Errorf("workers=%d: hit rate %v, want %v", workers, got, want)
+		}
+		if st.Hits+st.Coalesced != 8 {
+			t.Errorf("workers=%d: hits %d + coalesced %d != 8", workers, st.Hits, st.Coalesced)
+		}
+	}
+}
+
+// TestCacheStatsSurviveClear: the counters are monotonic for the life of
+// the cache (scope publishes them as counters), even though Clear drops
+// the entries.
+func TestCacheStatsSurviveClear(t *testing.T) {
+	cache := NewCache()
+	job := []Job[int]{{Key: "k", Run: func(*scope.Hub) (int, error) { return 1, nil }}}
+	for i := 0; i < 2; i++ {
+		if _, err := Run(Config{Jobs: 1, Cache: cache}, job); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cache.Clear()
+	if cache.Len() != 0 {
+		t.Errorf("Len() = %d after Clear, want 0", cache.Len())
+	}
+	st := cache.Stats()
+	if st.Lookups != 2 || st.Misses != 1 || st.Hits != 1 {
+		t.Errorf("stats %+v after Clear, want lookups 2, misses 1, hits 1", st)
+	}
+}
+
+// TestCachePublish: fleet.cache.* metrics land on the hub and read the
+// live counters.
+func TestCachePublish(t *testing.T) {
+	cache := NewCache()
+	hub := scope.NewHub()
+	cache.Publish(hub)
+	if _, err := Run(Config{Jobs: 1, Cache: cache}, []Job[int]{
+		{Key: "a", Run: func(*scope.Hub) (int, error) { return 1, nil }},
+		{Key: "a", Run: func(*scope.Hub) (int, error) { return 1, nil }},
+		{Key: "b", Run: func(*scope.Hub) (int, error) { return 2, nil }},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]int64{}
+	for _, s := range hub.Snapshot() {
+		got[s.Name] = s.Value
+	}
+	want := map[string]int64{
+		"fleet.cache.lookups":   3,
+		"fleet.cache.misses":    2,
+		"fleet.cache.hits":      1,
+		"fleet.cache.coalesced": 0,
+		"fleet.cache.entries":   2,
+	}
+	for name, v := range want {
+		if got[name] != v {
+			t.Errorf("%s = %d, want %d (snapshot: %v)", name, got[name], v, got)
+		}
+	}
+	// Publish of the shared cache must be nil-hub safe.
+	PublishMetrics(nil)
+}

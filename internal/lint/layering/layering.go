@@ -38,7 +38,7 @@ type Config struct {
 //	 7  cfrt             (kernel runtime over core)
 //	 8  kernels perfect  (paper workloads + cross-validation)
 //	 9  fleet            (experiment orchestration)
-//	10  tables cliutil   (paper tables, CLI plumbing)
+//	10  tables cliutil bench  (paper tables, CLI plumbing, perf campaigns)
 //	11  cedar (module root facade)
 //	12  cmd/* examples/* (binaries and examples)
 var DefaultConfig = Config{
@@ -66,6 +66,7 @@ var DefaultConfig = Config{
 		"internal/fleet":      9,
 		"internal/tables":     10,
 		"internal/cliutil":    10,
+		"internal/bench":      10,
 		"":                    11,
 	},
 	Prefixes: map[string]int{

@@ -43,11 +43,20 @@ echo "==> cedarfleet parallel-vs-sequential equality (-race, pool enabled)"
 # execution — for healthy runs and for fault-injected (cedarfault)
 # degraded runs alike. -count=1 defeats the test cache so the gate always
 # exercises the pool.
-go test -race -count=1 -run '^(TestParallelVsSequentialEquality|TestFaultedRunDeterministic)$' .
+go test -race -count=1 -run '^(TestParallelVsSequentialEquality|TestFaultedRunDeterministic|TestBenchArtifactDeterminism)$' .
+
+echo "==> cedarbench smoke campaign + regression diff"
+# The smoke campaign runs the full matrix once per declared jobs value
+# ([1, 8]) and fails itself if the deterministic sections differ, so a
+# successful run is a cross-jobs byte-equality proof. The diff then
+# gates simcycles (tight, they are deterministic) and allocations
+# (loose, they drift with the toolchain) against the committed baseline.
+go run ./cmd/cedarbench run -config bench/campaigns/smoke.json -out artifacts/BENCH_smoke.json -q
+go run ./cmd/cedarbench diff bench/BENCH_smoke.json artifacts/BENCH_smoke.json -threshold 5% -alloc-threshold 30%
 
 echo "==> fuzz smoke ($FUZZTIME per target)"
 go test -run='^$' -fuzz='^FuzzOmegaRouting$' -fuzztime="$FUZZTIME" ./internal/network
 go test -run='^$' -fuzz='^FuzzInstability$' -fuzztime="$FUZZTIME" ./internal/ppt
 go test -run='^$' -fuzz='^FuzzBands$' -fuzztime="$FUZZTIME" ./internal/ppt
 
-echo "OK: build, vet, cedarvet, race tests and fuzz smoke all green"
+echo "OK: build, vet, cedarvet, race tests, bench smoke and fuzz smoke all green"
