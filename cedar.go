@@ -41,9 +41,22 @@ import (
 	"cedar/internal/perfect"
 	"cedar/internal/ppt"
 	"cedar/internal/scope"
+	"cedar/internal/sim"
 	"cedar/internal/tables"
 	"cedar/internal/xylem"
 )
+
+// SetSteppedEngine sets the process-wide engine mode for machines built
+// afterwards: true pins every engine to the pure per-cycle stepped
+// schedule, false (the default) enables the event wheel that jumps over
+// cycles where no component is due. The two schedules are required to
+// produce byte-identical artifacts — the stepped-vs-event equivalence
+// test runs the experiment suite both ways and compares — so this switch
+// exists for that gate and for debugging, not for tuning.
+var SetSteppedEngine = sim.SetSteppedMode
+
+// SteppedEngine reports the current process-wide engine mode.
+var SteppedEngine = sim.SteppedModeEnabled
 
 // Machine is a configured Cedar system: clusters of CEs, networks, global
 // memory, and allocators for placing workload data.

@@ -28,6 +28,8 @@ import (
 	"strings"
 	"time"
 
+	cedar "cedar"
+
 	"cedar/internal/bench"
 	"cedar/internal/cliutil"
 )
@@ -64,6 +66,7 @@ func runCampaign(args []string, stdout, stderr io.Writer) int {
 		quiet   = fs.Bool("q", false, "suppress progress lines")
 		cpuProf = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = fs.String("memprofile", "", "write a heap profile to this file")
+		stepped = fs.Bool("stepped", false, "pin the pure per-cycle stepped engine (disable the event wheel); the deterministic section must not change — compare wall times to measure the wheel's win")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -74,6 +77,9 @@ func runCampaign(args []string, stdout, stderr io.Writer) int {
 	if _, err := cliutil.Setup(fs, *jobs, ""); err != nil {
 		lg.Print(err)
 		return 2
+	}
+	if *stepped {
+		cedar.SetSteppedEngine(true)
 	}
 	prof, err := cliutil.StartProfiles(*cpuProf, *memProf)
 	if err != nil {

@@ -118,9 +118,11 @@ func (ms MachineSpec) fabricKind() (core.FabricKind, error) {
 type WorkloadSpec struct {
 	Name string `json:"name"`
 	// Kind is one of "rank" (rank-64 update; Variant selects the memory
-	// mode), "vectorload", "trimat", "cg", or "banded".
+	// mode), "vectorload", "trimat", "cg", "banded", or "membw" (the
+	// memory-characterization stream; CEs/Stride apply, N is words per CE).
 	Kind string `json:"kind"`
-	// N is the problem order; a kind-specific default applies when 0.
+	// N is the problem order; a kind-specific default applies when 0. For
+	// membw it is the per-CE word count (default 4096).
 	N int `json:"n,omitempty"`
 	// Variant selects the rank-update memory mode: "nopref", "pref"
 	// (default) or "cache".
@@ -133,6 +135,14 @@ type WorkloadSpec struct {
 	BW int `json:"bw,omitempty"`
 	// MaxCEs restricts the processor count for cg/banded; 0 = all.
 	MaxCEs int `json:"max_ces,omitempty"`
+	// CEs is the membw participating-CE count (default 1).
+	CEs int `json:"ces,omitempty"`
+	// Gap is the latency-probe scalar pause between dependent loads in
+	// cycles (default 0: back-to-back round trips).
+	Gap int `json:"gap,omitempty"`
+	// Stride is the membw access stride in words (default 1; MemModules
+	// aims every reference at one module, the paper's worst case).
+	Stride int `json:"stride,omitempty"`
 }
 
 // FaultSpec is one fault axis entry: no plan (healthy), the built-in
@@ -181,6 +191,7 @@ func (fs FaultSpec) resolve(baseDir string) (*fault.Plan, error) {
 // workloadKinds names the valid WorkloadSpec.Kind values.
 var workloadKinds = map[string]bool{
 	"rank": true, "vectorload": true, "trimat": true, "cg": true, "banded": true,
+	"membw": true, "latency": true,
 }
 
 // Validate checks the campaign against the schema: a named area, at
@@ -242,7 +253,8 @@ func (c *Campaign) Validate() error {
 				return fmt.Errorf("bench: workload %q: unknown rank variant %q (want nopref, pref or cache)", w.Name, w.Variant)
 			}
 		}
-		if w.N < 0 || w.Sweeps < 0 || w.Iters < 0 || w.BW < 0 || w.MaxCEs < 0 {
+		if w.N < 0 || w.Sweeps < 0 || w.Iters < 0 || w.BW < 0 || w.MaxCEs < 0 ||
+			w.CEs < 0 || w.Stride < 0 || w.Gap < 0 {
 			return fmt.Errorf("bench: workload %q: sizes must be non-negative", w.Name)
 		}
 	}
@@ -261,7 +273,7 @@ func (c *Campaign) Validate() error {
 }
 
 func kindList() []string {
-	return []string{"banded", "cg", "rank", "trimat", "vectorload"}
+	return []string{"banded", "cg", "membw", "rank", "trimat", "vectorload"}
 }
 
 // Load reads and validates a campaign config file. Relative fault-plan

@@ -43,7 +43,11 @@ type DiffLine struct {
 	Metric string  `json:"metric"` // "simcycles" or "mallocs"
 	Old    int64   `json:"old"`
 	New    int64   `json:"new"`
-	Delta  float64 `json:"delta"` // fractional change, (new-old)/old
+	Delta  float64 `json:"delta"` // fractional change, (new-old)/old; 0 when ZeroBase
+	// ZeroBase marks a line whose baseline value was zero: the fractional
+	// change is undefined (it would render as +Inf% or NaN), so Delta is
+	// left 0 and the report states new-vs-zero explicitly.
+	ZeroBase bool `json:"zero_base,omitempty"`
 }
 
 // HasRegressions reports whether the diff should fail.
@@ -53,6 +57,10 @@ func (r *DiffReport) HasRegressions() bool { return len(r.Regressions) > 0 }
 func (r *DiffReport) Format() string {
 	var b strings.Builder
 	line := func(verdict string, l DiffLine) {
+		if l.ZeroBase {
+			fmt.Fprintf(&b, "%s %s %s: %d -> %d (zero baseline; %% undefined)\n", verdict, l.ID, l.Metric, l.Old, l.New)
+			return
+		}
 		fmt.Fprintf(&b, "%s %s %s: %d -> %d (%+.1f%%)\n", verdict, l.ID, l.Metric, l.Old, l.New, l.Delta*100)
 	}
 	for _, l := range r.Regressions {
@@ -105,6 +113,16 @@ func Diff(old, new *Artifact, opt DiffOptions) (*DiffReport, error) {
 		}
 		delete(newPoints, op.ID)
 		if op.SimCycles == 0 {
+			// A zero baseline has no defined fractional change; any growth
+			// is reported as new-vs-zero instead of +Inf% (and a 0 -> 0
+			// point is genuinely unchanged).
+			if np.SimCycles != 0 {
+				r.Regressions = append(r.Regressions, DiffLine{
+					ID: op.ID, Metric: "simcycles", Old: 0, New: np.SimCycles, ZeroBase: true})
+			}
+			if op.Status != np.Status {
+				r.Notes = append(r.Notes, fmt.Sprintf("%s: status %q -> %q", op.ID, op.Status, np.Status))
+			}
 			continue
 		}
 		delta := float64(np.SimCycles-op.SimCycles) / float64(op.SimCycles)
@@ -132,7 +150,18 @@ func Diff(old, new *Artifact, opt DiffOptions) (*DiffReport, error) {
 	}
 	for _, nm := range new.Measured.Runs {
 		om, ok := oldRuns[nm.Jobs]
-		if !ok || om.Mallocs == 0 {
+		if !ok {
+			continue
+		}
+		if om.Mallocs == 0 {
+			// Same zero-baseline rule as simcycles: explicit new-vs-zero,
+			// never a NaN or +Inf percentage. Allocations from a baseline
+			// that measured none always exceed any fractional threshold.
+			if nm.Mallocs != 0 {
+				r.Regressions = append(r.Regressions, DiffLine{
+					ID: fmt.Sprintf("jobs=%d allocs", nm.Jobs), Metric: "mallocs",
+					Old: 0, New: int64(nm.Mallocs), ZeroBase: true})
+			}
 			continue
 		}
 		delta := (float64(nm.Mallocs) - float64(om.Mallocs)) / float64(om.Mallocs)

@@ -119,6 +119,87 @@ func TestDiffFlagsAllocRegression(t *testing.T) {
 	}
 }
 
+// TestDiffZeroBaselines pins the zero-baseline arithmetic: a baseline
+// value of zero must never render +Inf% or NaN, a 0 -> 0 quantity is
+// clean, and growth from zero is an explicit new-vs-zero regression.
+func TestDiffZeroBaselines(t *testing.T) {
+	cases := []struct {
+		name           string
+		mutate         func(old, new *Artifact)
+		wantRegression bool
+		wantMetric     string
+	}{
+		{
+			name: "simcycles zero to nonzero",
+			mutate: func(old, new *Artifact) {
+				old.Deterministic.Points[0].SimCycles = 0
+			},
+			wantRegression: true,
+			wantMetric:     "simcycles",
+		},
+		{
+			name: "simcycles zero to zero",
+			mutate: func(old, new *Artifact) {
+				old.Deterministic.Points[0].SimCycles = 0
+				new.Deterministic.Points[0].SimCycles = 0
+			},
+		},
+		{
+			name: "simcycles zero baseline still notes status flip",
+			mutate: func(old, new *Artifact) {
+				old.Deterministic.Points[0].SimCycles = 0
+				new.Deterministic.Points[0].SimCycles = 0
+				new.Deterministic.Points[0].Status = "degraded"
+			},
+		},
+		{
+			name: "mallocs zero to nonzero",
+			mutate: func(old, new *Artifact) {
+				old.Measured.Runs[0].Mallocs = 0
+			},
+			wantRegression: true,
+			wantMetric:     "mallocs",
+		},
+		{
+			name: "mallocs zero to zero",
+			mutate: func(old, new *Artifact) {
+				old.Measured.Runs[0].Mallocs = 0
+				new.Measured.Runs[0].Mallocs = 0
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			old, n := fix(), fix()
+			tc.mutate(old, n)
+			r, err := Diff(old, n, DiffOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			out := r.Format()
+			if strings.Contains(out, "Inf") || strings.Contains(out, "NaN") {
+				t.Fatalf("zero baseline leaked Inf/NaN: %q", out)
+			}
+			if !tc.wantRegression {
+				if r.HasRegressions() {
+					t.Fatalf("want clean diff: %s", out)
+				}
+				return
+			}
+			if len(r.Regressions) != 1 {
+				t.Fatalf("want exactly one regression: %s", out)
+			}
+			l := r.Regressions[0]
+			if l.Metric != tc.wantMetric || !l.ZeroBase || l.Old != 0 || l.New == 0 || l.Delta != 0 {
+				t.Fatalf("zero-base line malformed: %+v", l)
+			}
+			if !strings.Contains(out, "zero baseline") {
+				t.Fatalf("report must state new-vs-zero explicitly: %q", out)
+			}
+		})
+	}
+}
+
 func TestDiffRejectsMismatchedAreasAndBadThresholds(t *testing.T) {
 	n := fix()
 	n.Header.Area = "other"

@@ -48,6 +48,7 @@ type workloadKey struct {
 	Kind, Variant        string
 	N, Sweeps, Iters, BW int
 	MaxCEs               int
+	CEs, Stride, Gap     int
 }
 
 // Run executes the campaign: one full matrix pass per jobs value, each
@@ -130,7 +131,8 @@ func Run(c *Campaign, opt RunOptions) (*Artifact, error) {
 		fjobs := make([]fleet.Job[Outcome], len(points))
 		for i, pt := range points {
 			wk := workloadKey{Kind: pt.w.Kind, Variant: pt.w.Variant,
-				N: pt.w.N, Sweeps: pt.w.Sweeps, Iters: pt.w.Iters, BW: pt.w.BW, MaxCEs: pt.w.MaxCEs}
+				N: pt.w.N, Sweeps: pt.w.Sweeps, Iters: pt.w.Iters, BW: pt.w.BW,
+				MaxCEs: pt.w.MaxCEs, CEs: pt.w.CEs, Stride: pt.w.Stride, Gap: pt.w.Gap}
 			fjobs[i] = fleet.Job[Outcome]{
 				// Keyed over semantics only — never the axis names — so
 				// coincidentally equal points simulate once. The job builds
@@ -277,6 +279,24 @@ func runWorkload(m *core.Machine, w WorkloadSpec) (kernels.Result, error) {
 			bw = 11
 		}
 		return kernels.Banded(m, kernels.BandedConfig{N: pick(64), BW: bw, MaxCEs: w.MaxCEs})
+	case "membw":
+		nce := w.CEs
+		if nce == 0 {
+			nce = 1
+		}
+		stride := int64(w.Stride)
+		if stride == 0 {
+			stride = 1
+		}
+		pt, err := kernels.MemBW(m, nce, stride, pick(4096))
+		if err != nil {
+			return kernels.Result{}, err
+		}
+		// The stream kernel does no arithmetic; bandwidth lives in the
+		// gmem.* metrics, the deterministic cycle count is the result.
+		return kernels.Result{Result: core.Result{Cycles: pt.Cycles}}, nil
+	case "latency":
+		return kernels.LoadLatency(m, pick(2000), int64(w.Gap))
 	}
 	return kernels.Result{}, fmt.Errorf("bench: unknown workload kind %q", w.Kind)
 }

@@ -64,11 +64,20 @@ type Cache struct {
 	missOut  []int
 	mshrs    map[uint64]*mshr
 	mshrFree []*mshr // retired entries, reused so misses stop allocating
-	rr       int
 
 	firing []firing
 	stats  Stats
+	// lastTick is the last executed cycle, for exact per-cycle counter
+	// accounting across engine jumps: a sleeping cache's state is frozen
+	// (Submit and fills wake it), so skipped cycles contribute gap × the
+	// frozen classification.
+	lastTick int64
+	wake     func(at int64)
 }
+
+// never mirrors sim.Never without importing sim (cache sits below it in
+// the layering DAG).
+const never = int64(1<<63 - 1)
 
 type firing struct {
 	at   int64
@@ -76,13 +85,20 @@ type firing struct {
 	tag  uint64
 }
 
-// Stats holds cumulative cache counters.
+// Stats holds cumulative cache counters. BusyCyc and WaitCyc classify
+// each cache-cycle into at most one bucket (by the state at tick entry),
+// so busy+stall never exceeds elapsed cycles and the attribution
+// conservation law holds exactly.
 type Stats struct {
 	Hits       int64
 	Misses     int64
 	MissAttach int64 // requests folded into an in-flight fill
 	WriteBacks int64
-	StallCyc   int64 // CE-cycles a queue head waited for a miss slot
+	StallCyc   int64 // CE-cycles a queue head waited for a miss slot (events)
+	BusyCyc    int64 // cycles actively serving queued requests
+	// WaitCyc counts cycles with empty queues but outstanding misses or
+	// pending completions — the cache waiting on cluster memory.
+	WaitCyc int64
 }
 
 // New builds the cache for nCE client CEs over the given cluster memory.
@@ -117,6 +133,7 @@ func New(p params.Machine, nCE int, mem *cmem.Memory) *Cache {
 	for i := range c.frames {
 		c.frames[i].tag = invalidTag
 	}
+	c.lastTick = -1
 	return c
 }
 
@@ -152,7 +169,39 @@ func (c *Cache) Submit(ce int, addr uint64, write bool, value int64, sink Sink, 
 		return false
 	}
 	c.queues[ce] = append(c.queues[ce], request{addr: addr, write: write, value: value, sink: sink, tag: tag})
+	if c.wake != nil {
+		c.wake(0) // clamps to the currently executing cycle
+	}
 	return true
+}
+
+// SetWaker installs the engine wake callback; Submit and fill use it to
+// rouse a sleeping cache. Until one is wired the cache never sleeps.
+func (c *Cache) SetWaker(wake func(at int64)) { c.wake = wake }
+
+// NextWakeup implements sim.Sleeper: now while requests are queued (one
+// round-robin pass per cycle), the earliest pending completion
+// otherwise. Outstanding misses alone need no ticks — the cluster
+// memory's FillDone callback wakes the cache when the line lands.
+func (c *Cache) NextWakeup(now int64) int64 {
+	if c.wake == nil {
+		return now
+	}
+	for _, q := range c.queues {
+		if len(q) > 0 {
+			return now
+		}
+	}
+	w := never
+	for i := range c.firing {
+		if at := c.firing[i].at; at < w {
+			w = at
+		}
+	}
+	if w < now {
+		return now
+	}
+	return w
 }
 
 // Idle reports whether no requests are queued, in flight, or completing.
@@ -208,6 +257,29 @@ func (c *Cache) Contains(addr uint64) bool {
 // Tick serves up to CacheWordsPerCyc requests round-robin across the CE
 // queues and fires due completions.
 func (c *Cache) Tick(cycle int64) {
+	if gap := cycle - c.lastTick - 1; gap > 0 {
+		// A sleeping cache has empty queues (an accepted Submit wakes it
+		// the same cycle), so the skipped cycles classify purely by the
+		// miss/firing set — frozen since the last tick or fill settlement.
+		if len(c.mshrs) > 0 || len(c.firing) > 0 {
+			c.stats.WaitCyc += gap
+		}
+	}
+	c.lastTick = cycle
+	queued := false
+	for _, q := range c.queues {
+		if len(q) > 0 {
+			queued = true
+			break
+		}
+	}
+	switch {
+	case queued:
+		c.stats.BusyCyc++
+	case len(c.mshrs) > 0 || len(c.firing) > 0:
+		c.stats.WaitCyc++
+	}
+
 	if len(c.firing) > 0 {
 		keep := c.firing[:0]
 		for _, f := range c.firing {
@@ -222,9 +294,12 @@ func (c *Cache) Tick(cycle int64) {
 
 	// One round-robin pass: each CE may be served up to two words per
 	// cycle (a load stream plus a store), within the cluster-wide
-	// CacheWordsPerCyc budget.
+	// CacheWordsPerCyc budget. The scan start rotates with the cycle
+	// number, not a tick counter: arbitration must not depend on how many
+	// ticks actually ran, or skipping a sleeping cache's no-op ticks
+	// would reorder service relative to the stepped schedule.
 	credit := c.p.CacheWordsPerCyc
-	start := c.rr + 1
+	start := int((cycle + 1) % int64(c.nCE)) //lint:allow cycleint remainder bounded by nCE, fits int
 	for scan := 0; scan < c.nCE && credit > 0; scan++ {
 		ce := (start + scan) % c.nCE
 		for served := 0; served < 2 && credit > 0 && len(c.queues[ce]) > 0; served++ {
@@ -235,7 +310,6 @@ func (c *Cache) Tick(cycle int64) {
 			credit--
 		}
 	}
-	c.rr = start % c.nCE
 }
 
 // serveHead attempts the head request of a CE queue. It reports whether a
@@ -325,6 +399,15 @@ func (c *Cache) fill(line uint64, cycle int64) {
 	if m == nil {
 		return
 	}
+	if gap := cycle - c.lastTick; gap > 0 {
+		// Cluster memory ticks after the cache, so a sleeping cache has
+		// already skipped its slot this cycle; settle the elapsed cycles
+		// (waiting — this very miss was outstanding) before the fill
+		// mutates the classification, e.g. a nil-sink store miss whose
+		// completion leaves nothing pending.
+		c.stats.WaitCyc += gap
+		c.lastTick = cycle
+	}
 	delete(c.mshrs, line)
 	c.missOut[m.owner]--
 	fr := c.victim(line)
@@ -332,16 +415,25 @@ func (c *Cache) fill(line uint64, cycle int64) {
 	fr.tag = line
 	fr.dirty = false
 	fr.used = c.clock
+	earliest := never
 	for _, r := range m.waiting {
 		if r.write {
 			fr.dirty = true
 			c.mem.Store().StoreWord(r.addr, r.value)
 			if r.sink != nil {
 				c.firing = append(c.firing, firing{at: cycle, sink: r.sink, tag: r.tag})
+				earliest = cycle
 			}
 		} else if r.sink != nil {
-			c.firing = append(c.firing, firing{at: cycle + int64(c.p.CacheHitLatency), sink: r.sink, tag: r.tag})
+			at := cycle + int64(c.p.CacheHitLatency)
+			c.firing = append(c.firing, firing{at: at, sink: r.sink, tag: r.tag})
+			if at < earliest {
+				earliest = at
+			}
 		}
+	}
+	if earliest != never && c.wake != nil {
+		c.wake(earliest)
 	}
 	c.putMSHR(m)
 }

@@ -42,6 +42,11 @@ type Stats struct {
 	Claims     int64
 	Joins      int64
 	WaitCyc    int64 // cycles requesters spent waiting for the bus
+	// BusyCyc counts cycles the serialized bus was occupied by a booked
+	// transaction. Bookings never overlap, so BusyCyc can exceed elapsed
+	// cycles only by the tail of a transaction booked past the end of a
+	// run.
+	BusyCyc int64
 }
 
 // New builds a bus for a cluster of nCE processors.
@@ -61,6 +66,7 @@ func (b *Bus) book(cycle int64, cost int) int64 {
 		start = b.busFree
 	}
 	b.busFree = start + int64(cost)
+	b.stats.BusyCyc += int64(cost)
 	return b.busFree
 }
 

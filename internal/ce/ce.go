@@ -66,6 +66,11 @@ type CE struct {
 	activeCyc int64
 	waitCyc   int64
 	doneAt    int64
+	// lastTick is the last executed cycle, for exact counter accounting
+	// across engine jumps: a sleeping CE's instruction state is frozen,
+	// so skipped cycles carry the frozen active/wait classification.
+	lastTick int64
+	wake     func(at int64)
 
 	// Fault recovery (degraded-mode runs).
 	faulty  bool  // fault plan active: poll the PFU for terminal errors
@@ -113,6 +118,7 @@ func New(p params.Machine, id, clusterID, idInCluster, port int,
 		rev:         rev,
 		cache:       cch,
 		modFor:      modFor,
+		lastTick:    -1,
 	}
 	c.pfu = prefetch.New(p, port, fwd, modFor, &c.pool)
 	return c
@@ -182,8 +188,99 @@ func (c *CE) Idle() bool {
 		len(c.pendingStores) == 0 && !c.pfu.Busy()
 }
 
+// never mirrors sim.Never without importing sim (ce sits below it in
+// the layering DAG).
+const never = int64(1<<63 - 1)
+
+// SetWaker installs the engine wake callback used by cache completions;
+// the machine wires the reverse network's port waker separately. Until a
+// waker is wired the CE never sleeps.
+func (c *CE) SetWaker(wake func(at int64)) { c.wake = wake }
+
+// NextWakeup implements sim.Sleeper: the earliest cycle this CE must
+// tick given its instruction state. External completions reach it by
+// push — the reverse network's port waker and the cache's CacheDone —
+// so phases that only await them sleep indefinitely.
+func (c *CE) NextWakeup(now int64) int64 {
+	if c.wake == nil {
+		return now
+	}
+	w := never
+	// Reverse-port traffic: a packet that reached the fabric egress at
+	// cycle t is consumable the cycle after (the fabric ticks after us).
+	if t := c.rev.NextAt(c.Port, now-1); t != never && t+1 < w {
+		w = t + 1
+	}
+	if len(c.pendingStores) > 0 {
+		return now // retryStores offers every cycle
+	}
+	if c.cur == nil {
+		if !c.finished {
+			return now // the controller is polled every cycle
+		}
+	} else {
+		switch c.cur.Op {
+		case OpScalar:
+			if !c.started {
+				return now
+			}
+			if c.busyUntil < w {
+				w = c.busyUntil
+			}
+		case OpGlobalLoad, OpSync:
+			if !c.issuedScalar {
+				return now // offering until the network accepts
+			}
+			if c.scalarBack && c.scalarDoneAt < w {
+				w = c.scalarDoneAt
+			}
+			// Reply in flight: the reverse port wakes us.
+		case OpGlobalStore, OpClusterStore:
+			return now // offering until accepted
+		case OpFence:
+			if c.storesOutstanding == 0 {
+				return now // retires on the next tick
+			}
+			// Waiting on write acks: the reverse port wakes us.
+		case OpClusterLoad:
+			if !c.started {
+				return now // submitting until the cache accepts
+			}
+			if c.scalarBack && c.scalarDoneAt < w {
+				w = c.scalarDoneAt
+			}
+			// The cache completion wakes us via CacheDone.
+		case OpVector:
+			if !c.started {
+				return now
+			}
+			if t := c.vecWakeup(now); t < w {
+				w = t
+			}
+		}
+	}
+	if t := c.pfu.NextWakeup(now); t < w {
+		w = t
+	}
+	if w < now {
+		return now
+	}
+	return w
+}
+
 // Tick implements sim.Component.
 func (c *CE) Tick(cycle int64) {
+	if gap := cycle - c.lastTick - 1; gap > 0 {
+		// cur and finished only change inside ticks, so the skipped
+		// cycles all carry the frozen classification. A CE waiting on its
+		// controller never sleeps, so the waitCyc arm is for safety.
+		if c.cur != nil {
+			c.activeCyc += gap
+		} else if !c.finished {
+			c.waitCyc += gap
+		}
+	}
+	c.lastTick = cycle
 	c.drainReplies(cycle)
 	c.retryStores()
 
@@ -411,6 +508,11 @@ func (c *CE) CacheDone(tag uint64, at int64) {
 			}
 			st.clusterInFlight--
 		}
+	}
+	if c.wake != nil {
+		// The cache ticks after the CEs, so the completion is actionable
+		// on the next cycle; the engine clamps the wake accordingly.
+		c.wake(at)
 	}
 }
 

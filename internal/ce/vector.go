@@ -197,6 +197,79 @@ func (c *CE) issueStream(st *streamState, si int, cycle int64) {
 	}
 }
 
+// vecWakeup reports the earliest cycle the running vector instruction
+// needs a tick: issue opportunities and store drains want every cycle,
+// slot expiries and operand availability give exact future cycles, and
+// phases waiting only on in-flight operands sleep (replies and cache
+// completions wake the CE by push).
+func (c *CE) vecWakeup(now int64) int64 {
+	vs := &c.vec
+	if vs.storesQueued > 0 {
+		return now // issueVecStores drains every cycle
+	}
+	w := never
+	for i := range vs.streams {
+		st := &vs.streams[i]
+		switch {
+		case st.s.Space == SpaceNone:
+		case st.s.PrefBlock > 0:
+			if vs.completed >= st.blockStart+st.blockLen && st.blockStart+st.blockLen < vs.n {
+				return now // the next block re-arms on the next tick
+			}
+		case st.s.Space == SpaceGlobal:
+			if st.issued < vs.n {
+				if vs.outstanding < c.p.MaxOutstanding {
+					return now // an issue is attempted every cycle
+				}
+				for _, t := range vs.freeAt {
+					if t < w {
+						w = t // an expiring slot enables the next issue
+					}
+				}
+			}
+		case st.s.Space == SpaceCluster:
+			if st.issued < vs.n && st.clusterInFlight < 4 {
+				return now // a submit is attempted every cycle
+			}
+		}
+	}
+	// Completion gate for the next element (the store queue is empty
+	// here, so the storePendingCap gate cannot block).
+	if vs.completed < vs.n {
+		e := vs.completed
+		if e%c.p.MaxVL == 0 && !vs.stripCharged {
+			return now // the strip-startup charge books on the next tick
+		}
+		t := vs.pipeFree + 1
+		ready := true
+		for i := range vs.streams {
+			st := &vs.streams[i]
+			switch {
+			case st.s.Space == SpaceNone:
+			case st.s.PrefBlock > 0:
+				if e < st.blockStart || e >= st.blockStart+st.blockLen {
+					return now // block-boundary bookkeeping; a tick resolves it
+				}
+				if at, ok := c.pfu.NextConsumableAt(); !ok {
+					ready = false // word in flight; its delivery wakes us
+				} else if at > t {
+					t = at
+				}
+			default:
+				if st.avail[e] < 0 {
+					ready = false // operand in flight; its completion wakes us
+				} else if st.avail[e] > t {
+					t = st.avail[e]
+				}
+			}
+		}
+		if ready && t < w {
+			w = t
+		}
+	}
+	return w
+}
+
 // elementReady reports whether every stream has element e available now.
 func (c *CE) elementReady(e int, cycle int64) bool {
 	for i := range c.vec.streams {

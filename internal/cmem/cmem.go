@@ -20,7 +20,12 @@ type Memory struct {
 	queue   []pending
 	firing  []firing
 	busyCnt int64
+	wake    func(at int64)
 }
+
+// never mirrors sim.Never without importing sim (cmem sits below it in
+// the layering DAG).
+const never = int64(1<<63 - 1)
 
 // Sink receives transfer completions. Completions carry the caller's tag
 // instead of a per-request closure so that submitting on the per-cycle
@@ -66,6 +71,31 @@ func (m *Memory) Submit(words int, sink Sink, tag uint64) {
 		words = 1
 	}
 	m.queue = append(m.queue, pending{remaining: words, sink: sink, tag: tag})
+	if m.wake != nil {
+		m.wake(0) // clamps to the currently executing cycle
+	}
+}
+
+// SetWaker installs the engine wake callback; Submit uses it to rouse a
+// sleeping memory. Until one is wired the memory never sleeps.
+func (m *Memory) SetWaker(wake func(at int64)) { m.wake = wake }
+
+// NextWakeup implements sim.Sleeper: now while transfers hold word
+// credits (one grant pass per cycle), the earliest completion otherwise.
+func (m *Memory) NextWakeup(now int64) int64 {
+	if m.wake == nil || len(m.queue) > 0 {
+		return now
+	}
+	w := never
+	for i := range m.firing {
+		if at := m.firing[i].at; at < w {
+			w = at
+		}
+	}
+	if w < now {
+		return now
+	}
+	return w
 }
 
 // Idle reports whether no transfers are queued or completing.

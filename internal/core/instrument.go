@@ -171,18 +171,18 @@ func (m *Machine) attribute() {
 	mem := m.Mem
 	h.Attribute("gmem", func() scope.Attr {
 		s := mem.Stats()
-		return attr(s.BusyCyc, s.Stalls, int64(mem.Modules())*eng.Cycle())
+		return attr(s.BusyCyc+s.DrainCyc, s.StallCyc, int64(mem.Modules())*eng.Cycle())
 	})
 
 	for _, cl := range m.Clusters {
 		cc, bus := cl.Cache, cl.Bus
 		h.Attribute("cache", func() scope.Attr {
 			s := cc.Stats()
-			return attr(s.Hits+s.Misses, s.StallCyc, eng.Cycle())
+			return attr(s.BusyCyc, s.WaitCyc, eng.Cycle())
 		})
 		h.Attribute("ccbus", func() scope.Attr {
 			s := bus.Stats()
-			return attr(s.Broadcasts+s.Claims+s.Joins, s.WaitCyc, eng.Cycle())
+			return attr(s.BusyCyc, s.WaitCyc, eng.Cycle())
 		})
 	}
 
@@ -190,18 +190,24 @@ func (m *Machine) attribute() {
 		f := f
 		h.Attribute("network", func() scope.Attr {
 			s := f.Stats()
-			return attr(s.WordHops, s.Refused, int64(f.Lines())*eng.Cycle())
+			return attr(s.WordHops, s.RefusedCyc, int64(f.Lines())*eng.Cycle())
 		})
 	}
 }
 
-// attr assembles an Attr with idle = elapsed − busy − stall, clamped ≥ 0.
+// attr assembles an Attr whose parts sum to elapsed exactly. The
+// contributors feeding it count disjoint per-cycle classifications, so
+// the clamps are no-ops except for a transaction booked past the end of
+// a run (ccbus); they keep the conservation law an invariant rather
+// than a convention.
 func attr(busy, stall, elapsed int64) scope.Attr {
-	idle := elapsed - busy - stall
-	if idle < 0 {
-		idle = 0
+	if busy > elapsed {
+		busy = elapsed
 	}
-	return scope.Attr{Busy: busy, Stall: stall, Idle: idle}
+	if stall > elapsed-busy {
+		stall = elapsed - busy
+	}
+	return scope.Attr{Busy: busy, Stall: stall, Idle: elapsed - busy - stall, Elapsed: elapsed}
 }
 
 // AttachSampler builds a cycle sampler over every gauge registered so far,

@@ -172,15 +172,37 @@ func New(p params.Machine, opt Options) (*Machine, error) {
 			}
 			cluster.CEs = append(cluster.CEs, c)
 			m.CEs = append(m.CEs, c)
-			m.Engine.Register(c)
+			h := m.Engine.Register(c)[0]
+			c.SetWaker(h.Wake)
+			// The CE ticks before the reverse fabric, so an egress packet
+			// is consumable the cycle after it lands.
+			wake := h.Wake
+			rev.SetPortWaker(c.Port, func(at int64) { wake(at + 1) })
 		}
 		m.Clusters = append(m.Clusters, cluster)
-		m.Engine.Register(sim.Func{
+		// Cache and cluster memory tick as one composite, after the
+		// cluster's CEs (which submit to the cache) and with the cache
+		// ahead of the memory behind it.
+		ch := m.Engine.Register(sim.SchedFunc{
 			ID: fmt.Sprintf("cluster%d", cl),
 			F:  func(cy int64) { cc.Tick(cy); cm.Tick(cy) },
-		})
+			W: func(now int64) int64 {
+				w := cc.NextWakeup(now)
+				if t := cm.NextWakeup(now); t < w {
+					w = t
+				}
+				return w
+			},
+		})[0]
+		cc.SetWaker(ch.Wake)
+		cm.SetWaker(ch.Wake)
 	}
-	m.Engine.Register(fwd, m.Mem, rev)
+	hs := m.Engine.Register(fwd, m.Mem, rev)
+	fwd.SetWaker(hs[0].Wake)
+	// The memory ticks after the forward fabric, so SetWaker's port hooks
+	// deliver arrival cycles directly.
+	m.Mem.SetWaker(hs[1].Wake)
+	rev.SetWaker(hs[2].Wake)
 	m.instrument()
 	return m, nil
 }

@@ -37,15 +37,30 @@ type Memory struct {
 	inj  *fault.Injector
 
 	stats Stats
+	// lastTick is the last executed cycle, for exact per-cycle counter
+	// accounting across engine jumps: a sleeping module's state is frozen,
+	// so the skipped cycles contribute gap × (frozen classification).
+	lastTick int64
+	wake     func(at int64)
 }
 
-// Stats holds cumulative memory-system counters.
+// Stats holds cumulative memory-system counters. BusyCyc, DrainCyc and
+// StallCyc classify each module-cycle into at most one bucket (by the
+// module's state at tick entry), so busy+stall never exceeds elapsed
+// module-cycles and the attribution conservation law holds exactly.
 type Stats struct {
 	Reads   int64
 	Writes  int64
 	SyncOps int64
-	Stalls  int64 // initiation stalls due to reply back-pressure
+	Stalls  int64 // initiation stalls due to reply back-pressure (events)
 	BusyCyc int64 // module-cycles spent with the pipeline non-empty
+	// DrainCyc counts module-cycles with an empty pipeline but replies
+	// still staged for the reverse network (the module is draining).
+	DrainCyc int64
+	// StallCyc counts module-cycles where a consumable request waits at
+	// the port but the MemService recovery gap blocks initiation and the
+	// module is otherwise empty.
+	StallCyc int64
 }
 
 type inflight struct {
@@ -64,6 +79,10 @@ type module struct {
 // models the module's reply staging buffer.
 const outCap = 4
 
+// never mirrors sim.Never without importing sim (gmem sits below it in
+// the layering DAG).
+const never = int64(1<<63 - 1)
+
 // New builds the memory system over the given fabrics. The store is shared
 // backdoor state: runtime code may Peek/Poke it directly for setup.
 func New(p params.Machine, fwd, rev network.Fabric, data *Store) *Memory {
@@ -81,6 +100,7 @@ func New(p params.Machine, fwd, rev network.Fabric, data *Store) *Memory {
 		data:       data,
 		mods:       make([]module, p.MemModules),
 		portStride: stride,
+		lastTick:   -1,
 	}
 	m.remap()
 	return m
@@ -156,9 +176,71 @@ func (m *Memory) PortOf(i int) int { return i * m.portStride }
 
 // Tick implements sim.Component.
 func (m *Memory) Tick(cycle int64) {
+	if gap := cycle - m.lastTick - 1; gap > 0 {
+		// The engine skipped the memory entirely for gap cycles. A module
+		// can only sleep with a non-empty pipeline (busy; replies staged
+		// or consumable port traffic force wakefulness) or fully empty
+		// (idle), and its state is frozen while asleep, so bulk-adding
+		// the gap reproduces the stepped run's counters exactly.
+		for i := range m.mods {
+			if len(m.mods[i].pipe) > 0 {
+				m.stats.BusyCyc += gap
+			}
+		}
+	}
+	m.lastTick = cycle
 	for i := range m.mods {
 		m.tickModule(i, cycle)
 	}
+}
+
+// SetWaker installs the engine wake callback and hooks the forward
+// fabric's port wakers so packets that arrive while the memory sleeps
+// rouse it. Until a waker is wired the memory never sleeps: without the
+// port hooks a future-wake answer could strand arriving traffic.
+func (m *Memory) SetWaker(wake func(at int64)) {
+	m.wake = wake
+	if m.fwd != nil {
+		for i := range m.mods {
+			m.fwd.SetPortWaker(m.PortOf(i), wake)
+		}
+	}
+}
+
+// NextWakeup implements sim.Sleeper: the earliest cycle any module must
+// act — now while replies are staged (one offer per cycle) or a
+// consumable request waits at a port, the earliest pipeline retirement
+// or port arrival otherwise. Packets that arrive while the memory
+// sleeps wake it through the forward fabric's port wakers.
+func (m *Memory) NextWakeup(now int64) int64 {
+	if m.wake == nil {
+		return now
+	}
+	w := never
+	for i := range m.mods {
+		md := &m.mods[i]
+		if len(md.out) > 0 {
+			return now
+		}
+		if len(md.pipe) > 0 {
+			t := md.pipe[0].done
+			if t < now {
+				t = now
+			}
+			if t < w {
+				w = t
+			}
+		}
+		if m.fwd != nil {
+			if t := m.fwd.NextAt(m.PortOf(i), now); t < w {
+				// Wake when the packet is consumable even if nextInit gates
+				// actual initiation: the waiting cycles are the module's
+				// stall classification and must be observed per cycle.
+				w = t
+			}
+		}
+	}
+	return w
 }
 
 // tickModule advances one memory module: initiate the head request, age
@@ -166,8 +248,13 @@ func (m *Memory) Tick(cycle int64) {
 // module cannot serve — a routing bug, not a runtime condition.
 func (m *Memory) tickModule(i int, cycle int64) {
 	md := &m.mods[i]
-	if len(md.pipe) > 0 {
+	switch {
+	case len(md.pipe) > 0:
 		m.stats.BusyCyc++
+	case len(md.out) > 0:
+		m.stats.DrainCyc++
+	case cycle < md.nextInit && m.fwd != nil && m.fwd.Peek(m.PortOf(i)) != nil:
+		m.stats.StallCyc++
 	}
 
 	// Retire completed accesses into the reply stage.

@@ -26,6 +26,8 @@ type Crossbar struct {
 	inflight int
 	seq      int64
 	inj      *fault.Injector
+	wake     func(at int64)
+	portWake []func(at int64)
 }
 
 // NewCrossbar builds an ideal crossbar with the given minimum transit
@@ -39,11 +41,12 @@ func NewCrossbar(name string, ports int, latency int) *Crossbar {
 		latency = 1
 	}
 	return &Crossbar{
-		name:    name,
-		ports:   ports,
-		latency: int64(latency),
-		egress:  make([]unboundedQueue, ports),
-		outFree: make([]int64, ports),
+		name:     name,
+		ports:    ports,
+		latency:  int64(latency),
+		egress:   make([]unboundedQueue, ports),
+		outFree:  make([]int64, ports),
+		portWake: make([]func(at int64), ports),
 	}
 }
 
@@ -63,6 +66,40 @@ func (c *Crossbar) Idle() bool { return c.inflight == 0 }
 // fault onto its one logical stage: jams add transit latency (there is
 // no queue to block) and drops lose the packet at transit start.
 func (c *Crossbar) SetFaults(inj *fault.Injector) { c.inj = inj }
+
+// SetWaker implements Fabric.
+func (c *Crossbar) SetWaker(wake func(at int64)) { c.wake = wake }
+
+// SetPortWaker implements Fabric.
+func (c *Crossbar) SetPortWaker(port int, wake func(at int64)) { c.portWake[port] = wake }
+
+// NextWakeup implements Fabric (sim.Sleeper). Egress packets are fully
+// delivered (Peek is not clock-gated), so only the transit heap needs
+// ticks: the fabric sleeps until its earliest arrival. Unstamped heads
+// (readyAt -1, sorted first) need a tick now to be scheduled. Until a
+// waker is wired the fabric never sleeps: Offer could not rouse it.
+func (c *Crossbar) NextWakeup(now int64) int64 {
+	if c.wake == nil {
+		return now
+	}
+	if len(c.pending) == 0 {
+		return never
+	}
+	r := c.pending[0].pkt.readyAt
+	if r > now {
+		return r
+	}
+	return now
+}
+
+// NextAt implements Fabric: crossbar egress packets are consumable as
+// soon as they are queued.
+func (c *Crossbar) NextAt(port int, now int64) int64 {
+	if c.egress[port].headPkt() == nil {
+		return never
+	}
+	return now
+}
 
 // Queued implements Fabric: words of every packet not yet polled — the
 // ideal crossbar buffers everything internally.
@@ -94,6 +131,9 @@ func (c *Crossbar) Offer(p *Packet) bool {
 	c.pending.push(pendingPkt{pkt: p, seq: c.seq})
 	c.stats.Offered++
 	c.inflight++
+	if c.wake != nil {
+		c.wake(0) // clamps to the currently executing cycle
+	}
 	return true
 }
 
@@ -136,6 +176,10 @@ func (c *Crossbar) Tick(cycle int64) {
 		}
 		p := c.pending.pop().pkt
 		c.egress[p.Dst].push(p)
+		if w := c.portWake[p.Dst]; w != nil {
+			// Consumable this very cycle by an after-fabric sink.
+			w(cycle)
+		}
 	}
 }
 

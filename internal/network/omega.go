@@ -2,6 +2,7 @@ package network
 
 import (
 	"fmt"
+	"math"
 
 	"cedar/internal/fault"
 )
@@ -12,6 +13,12 @@ import (
 //
 // A Fabric is a sim.Component; sources must be ticked before the fabric
 // and sinks after it so a packet traverses at most one stage per cycle.
+// It is also a sim.Sleeper: NextWakeup keeps the fabric ticking exactly
+// while packets are inside it, SetWaker lets Offer rouse a sleeping
+// fabric, and SetPortWaker/NextAt carry delivery times to sleeping
+// egress consumers (the waker and NextAt both report the first cycle an
+// after-fabric sink can consume the packet; sinks registered before the
+// fabric see it one cycle later and add that themselves).
 type Fabric interface {
 	// Name identifies the fabric in diagnostics.
 	Name() string
@@ -35,13 +42,28 @@ type Fabric interface {
 	// Queued returns the words currently buffered inside the fabric —
 	// an instantaneous occupancy gauge for the observability hub.
 	Queued() int
-	// Lines returns the number of internal wire-cycles available per
-	// simulated cycle (ports × stages for a multistage fabric), the
-	// denominator for utilization attribution.
+	// Lines returns the number of wire-cycles available per simulated
+	// cycle (ports × (stages+1) for a multistage fabric, counting the
+	// ingress wires), the denominator for utilization attribution.
 	Lines() int
 	// SetFaults installs a fault injector consulted on every wire
 	// movement. nil (the default) is the healthy fabric.
 	SetFaults(inj *fault.Injector)
+	// NextWakeup implements sim.Sleeper: now while any packet is in
+	// flight, Never when the fabric is empty.
+	NextWakeup(now int64) int64
+	// SetWaker installs the fabric's own wake callback (its engine
+	// handle); Offer invokes it so an injection rouses a sleeping fabric.
+	SetWaker(wake func(at int64))
+	// SetPortWaker installs a per-egress-port callback invoked when a
+	// packet finishes arriving at that port, with the first cycle an
+	// after-fabric sink could consume it.
+	SetPortWaker(port int, wake func(at int64))
+	// NextAt returns the first cycle ≥ now at which an after-fabric sink
+	// could consume the packet at the egress port's head, or Never when
+	// the queue is empty. Sleeping consumers fold it into NextWakeup so a
+	// requery never forgets work already waiting at the port.
+	NextAt(port int, now int64) int64
 }
 
 // Stats holds cumulative fabric counters.
@@ -50,7 +72,16 @@ type Stats struct {
 	Refused   int64 // Offer calls rejected by back-pressure
 	Delivered int64 // packets handed to egress consumers
 	WordHops  int64 // word×stage movements (a utilization proxy)
+	// RefusedCyc counts port-cycles with at least one rejected Offer —
+	// the deduplicated, conservation-safe stall measure (Refused can
+	// exceed one per port per cycle when a CE and its PFU both retry).
+	RefusedCyc int64
 }
+
+// never mirrors sim.Never without importing the engine package (the
+// layering DAG keeps network below sim): the NextWakeup value meaning
+// "asleep until woken".
+const never = int64(math.MaxInt64)
 
 // Omega is Cedar's packet-switched multistage shuffle-exchange network.
 //
@@ -96,6 +127,14 @@ type Omega struct {
 	stats     Stats
 	inflight  int
 	inj       *fault.Injector
+	// wake is the fabric's own engine handle (Offer rouses a sleeping
+	// fabric through it); portWake[p] notifies egress port p's consumer
+	// when a packet finishes arriving. Both are optional.
+	wake     func(at int64)
+	portWake []func(at int64)
+	// lastRefuse[p] is the o.now stamp of port p's last counted refusal,
+	// deduplicating RefusedCyc to one per port-cycle.
+	lastRefuse []int64
 	// now is the next cycle this fabric will execute. Offer stamps packets
 	// with it so a packet injected during cycle c takes its first hop at
 	// tick c; Poll uses it so a packet that completed its last hop during
@@ -157,6 +196,11 @@ func NewOmega(cfg OmegaConfig) *Omega {
 		swCount:     make([][]int, stages),
 		ingressBusy: make([]int, cfg.Ports),
 		egressCap:   egressCap,
+		portWake:    make([]func(at int64), cfg.Ports),
+		lastRefuse:  make([]int64, cfg.Ports),
+	}
+	for p := range o.lastRefuse {
+		o.lastRefuse[p] = -1
 	}
 	lineCap := 2 * cfg.QueueWords
 	for t := 0; t < stages; t++ {
@@ -189,6 +233,36 @@ func (o *Omega) Idle() bool { return o.inflight == 0 }
 // SetFaults implements Fabric.
 func (o *Omega) SetFaults(inj *fault.Injector) { o.inj = inj }
 
+// SetWaker implements Fabric.
+func (o *Omega) SetWaker(wake func(at int64)) { o.wake = wake }
+
+// SetPortWaker implements Fabric.
+func (o *Omega) SetPortWaker(port int, wake func(at int64)) { o.portWake[port] = wake }
+
+// NextWakeup implements Fabric (sim.Sleeper): the omega must tick every
+// cycle a packet is anywhere inside it — stage queues, egress queues
+// (Peek gates on the advancing clock) or the ingress wires — and can
+// sleep indefinitely once empty; Offer wakes it back up. Until a waker
+// is wired the fabric never sleeps: Offer could not rouse it.
+func (o *Omega) NextWakeup(now int64) int64 {
+	if o.wake == nil || o.inflight > 0 || len(o.ingressList) > 0 {
+		return now
+	}
+	return never
+}
+
+// NextAt implements Fabric.
+func (o *Omega) NextAt(port int, now int64) int64 {
+	h := o.egress[port].headPkt()
+	if h == nil {
+		return never
+	}
+	if h.readyAt > now {
+		return h.readyAt
+	}
+	return now
+}
+
 // Queued implements Fabric: words buffered in the stage and egress queues.
 func (o *Omega) Queued() int {
 	w := 0
@@ -203,8 +277,10 @@ func (o *Omega) Queued() int {
 	return w
 }
 
-// Lines implements Fabric: one output wire per line per stage.
-func (o *Omega) Lines() int { return o.ports * o.stages }
+// Lines implements Fabric: one output wire per line per stage, plus the
+// ingress wire per port (whose refused cycles are the stall side of the
+// network attribution).
+func (o *Omega) Lines() int { return o.ports * (o.stages + 1) }
 
 // shuffle rotates the base-k digits of line left by one: the perfect
 // radix-k shuffle wiring between stages.
@@ -229,13 +305,13 @@ func (o *Omega) Offer(p *Packet) bool {
 		panic(fmt.Sprintf("network %s: port out of range: %v", o.name, p))
 	}
 	if o.ingressBusy[p.Src] > 0 {
-		o.stats.Refused++
+		o.refuse(p.Src)
 		return false
 	}
 	line := o.shuffle(p.Src)
 	q := &o.in[0][line]
 	if !q.canAccept(p.Words()) {
-		o.stats.Refused++
+		o.refuse(p.Src)
 		return false
 	}
 	p.readyAt = o.now
@@ -245,7 +321,23 @@ func (o *Omega) Offer(p *Packet) bool {
 	o.ingressList = append(o.ingressList, p.Src)
 	o.stats.Offered++
 	o.inflight++
+	if o.wake != nil {
+		// Rouse a sleeping fabric: 0 clamps to the earliest legal cycle,
+		// which is the one currently executing (sources tick first).
+		o.wake(0)
+	}
 	return true
+}
+
+// refuse records one rejected Offer, deduplicating the per-port-cycle
+// RefusedCyc stall counter via o.now (current while the fabric is
+// non-empty, which a refusal implies).
+func (o *Omega) refuse(port int) {
+	o.stats.Refused++
+	if o.lastRefuse[port] != o.now {
+		o.lastRefuse[port] = o.now
+		o.stats.RefusedCyc++
+	}
 }
 
 // Peek implements Fabric.
@@ -372,6 +464,11 @@ func (o *Omega) tickStage(t int, cycle int64) {
 				dst.push(h)
 				if t < o.stages-1 {
 					o.swCount[t+1][o.shuffle(gout)/o.radix]++
+				} else if w := o.portWake[gout]; w != nil {
+					// Final hop: tell the egress consumer when the packet
+					// becomes consumable (readyAt for sinks ticking after
+					// the fabric; before-fabric sinks add one themselves).
+					w(h.readyAt)
 				}
 				o.rr[t][gout] = inp
 				if w := h.Words() - 1; w > 0 {

@@ -252,6 +252,61 @@ func (u *PFU) Done() bool {
 // Busy reports whether requests are outstanding or still to issue.
 func (u *PFU) Busy() bool { return u.fired && !u.Done() }
 
+// never mirrors sim.Never without importing sim (prefetch sits below it
+// in the layering DAG).
+const never = int64(1<<63 - 1)
+
+// NextWakeup reports the earliest cycle the PFU needs its CE's tick:
+// every cycle while it can issue (or must be resumed from a page-crossing
+// suspension), the earliest timeout or retry deadline otherwise. Phases
+// that only await replies sleep — the reverse port wakes the CE.
+func (u *PFU) NextWakeup(now int64) int64 {
+	if !u.fired {
+		return never
+	}
+	if u.suspended {
+		return now // the CE resumes a suspended PFU on its next tick
+	}
+	w := never
+	if u.issuedIdx < u.length {
+		if u.mask != nil && !u.mask[u.issuedIdx] {
+			return now // masked elements are marked consumable by ticking
+		}
+		if u.outstanding < u.p.PFUMaxOutstanding {
+			return now // an issue (or its refusal) is attempted every cycle
+		}
+		// Port saturated: a reply must free a slot first.
+	}
+	if u.retryArmed {
+		if len(u.timeoutQ) > 0 && u.timeoutQ[0].deadline < w {
+			w = u.timeoutQ[0].deadline
+		}
+		for _, e := range u.retryQ {
+			if e.at < w {
+				w = e.at
+			}
+		}
+	}
+	if w < now {
+		return now
+	}
+	return w
+}
+
+// NextConsumableAt reports when the next in-order element clears the
+// CE-side transfer pipeline. ok is false when the word has not arrived
+// (its delivery on the reverse port wakes the CE) or the block is drained.
+func (u *PFU) NextConsumableAt() (int64, bool) {
+	if u.consumeIdx >= u.length {
+		return 0, false
+	}
+	s := &u.buf[u.consumeIdx]
+	if !s.full {
+		return 0, false
+	}
+	return s.arrival + int64(u.p.CELoadOverhead), true
+}
+
 // Tick issues at most one request into the forward network (the PFU shares
 // the CE's single network port; the fabric's ingress serialization
 // arbitrates between them).

@@ -15,6 +15,11 @@ type Attr struct {
 	Busy  int64
 	Stall int64
 	Idle  int64
+	// Elapsed is the contributor's total component-cycles. Contributors
+	// maintain Busy + Stall + Idle == Elapsed exactly (the conservation
+	// law core's tests enforce); readers can use it as the denominator
+	// without re-deriving it.
+	Elapsed int64
 }
 
 type attrib struct {
@@ -36,10 +41,11 @@ func (h *Hub) Attribute(class string, read func() Attr) {
 
 // AttrRow is one class's aggregated attribution.
 type AttrRow struct {
-	Class string
-	Busy  int64
-	Stall int64
-	Idle  int64
+	Class   string
+	Busy    int64
+	Stall   int64
+	Idle    int64
+	Elapsed int64
 }
 
 // Attribution reads every contributor and returns per-class totals,
@@ -61,6 +67,7 @@ func (h *Hub) Attribution() []AttrRow {
 		r.Busy += v.Busy
 		r.Stall += v.Stall
 		r.Idle += v.Idle
+		r.Elapsed += v.Elapsed
 	}
 	sort.Strings(order)
 	rows := make([]AttrRow, 0, len(order))

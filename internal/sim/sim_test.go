@@ -365,6 +365,74 @@ func TestFastForwardWakeOnLimitBoundary(t *testing.T) {
 	}
 }
 
+// TestFastForwardedAcrossReentry pins the skipped-cycle accounting when
+// RunUntil is re-entered mid-run and a wake lands exactly on the
+// re-entered deadline (start+limit). The seam this guards: each RunUntil
+// computes its deadline from its own start cycle, and tryJump clamps to
+// that deadline, so FastForwarded must accumulate exactly the cycles no
+// tick ran — never double-counting a deadline cycle across re-entries
+// and never overshooting a clamp.
+func TestFastForwardedAcrossReentry(t *testing.T) {
+	w := &wakeOnce{id: "wake", at: 100}
+	e := New()
+	e.Register(w)
+
+	// First entry times out well before the wake: one clamped jump 0→30.
+	if err := e.RunUntilIdle(30); !errors.Is(err, ErrCycleLimit) {
+		t.Fatalf("first entry: err = %v, want ErrCycleLimit", err)
+	}
+	if e.Cycle() != 30 || e.FastForwarded() != 30 {
+		t.Fatalf("first entry: cycle %d / skipped %d, want 30 / 30", e.Cycle(), e.FastForwarded())
+	}
+
+	// Re-entry with the wake exactly on start+limit (30+70): the deadline
+	// cycle is never executed, so the run times out, the component must
+	// not fire, and every cycle of this window was skipped.
+	if err := e.RunUntilIdle(70); !errors.Is(err, ErrCycleLimit) {
+		t.Fatalf("re-entry: err = %v, want ErrCycleLimit", err)
+	}
+	if w.fired {
+		t.Error("re-entry: component fired on the deadline cycle, which must not execute")
+	}
+	if e.Cycle() != 100 || e.FastForwarded() != 100 {
+		t.Errorf("re-entry: cycle %d / skipped %d, want 100 / 100", e.Cycle(), e.FastForwarded())
+	}
+
+	// Third entry starts on the wake cycle itself: the tick executes, so
+	// cycle 100 counts as executed and the skip total must not grow.
+	if err := e.RunUntilIdle(10); err != nil {
+		t.Fatalf("third entry: %v", err)
+	}
+	if !w.fired || len(w.ticks) != 1 || w.ticks[0] != 100 {
+		t.Errorf("third entry: ticks = %v, want [100]", w.ticks)
+	}
+	if e.Cycle() != 101 || e.FastForwarded() != 100 {
+		t.Errorf("third entry: cycle %d / skipped %d, want 101 / 100", e.Cycle(), e.FastForwarded())
+	}
+
+	// The stepped twin of the same three-entry schedule agrees on every
+	// cycle count and never fast-forwards.
+	sw := &wakeOnce{id: "wake", at: 100}
+	se := New()
+	se.Register(hiddenWake{sw})
+	if err := se.RunUntilIdle(30); !errors.Is(err, ErrCycleLimit) {
+		t.Fatalf("stepped first entry: %v", err)
+	}
+	if err := se.RunUntilIdle(70); !errors.Is(err, ErrCycleLimit) {
+		t.Fatalf("stepped re-entry: %v", err)
+	}
+	if err := se.RunUntilIdle(10); err != nil {
+		t.Fatalf("stepped third entry: %v", err)
+	}
+	if se.Cycle() != e.Cycle() || sw.fired != w.fired {
+		t.Errorf("stepped twin ended at cycle %d (fired %v), fast-forwarded at %d (fired %v)",
+			se.Cycle(), sw.fired, e.Cycle(), w.fired)
+	}
+	if se.FastForwarded() != 0 {
+		t.Errorf("stepped twin skipped %d cycles, want 0", se.FastForwarded())
+	}
+}
+
 // TestFastForwardWakeBoundaryMidRun repeats the boundary check with a
 // non-zero start cycle, so the deadline arithmetic (start+limit, not
 // absolute limit) is what is actually pinned.

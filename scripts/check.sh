@@ -45,6 +45,14 @@ echo "==> cedarfleet parallel-vs-sequential equality (-race, pool enabled)"
 # exercises the pool.
 go test -race -count=1 -run '^(TestParallelVsSequentialEquality|TestFaultedRunDeterministic|TestBenchArtifactDeterminism)$' .
 
+echo "==> stepped-vs-event engine equivalence (-race)"
+# The event wheel (internal/sim) skips sleeping components and jumps the
+# clock over empty cycles; both must be invisible. These run the suite
+# with the wheel on and with pure per-cycle stepping and byte-compare
+# every artifact, plus the seeded random-interleaving property test.
+go test -race -count=1 -run '^(TestSteppedVsEventEquality|TestSteppedVsEventDegraded)$' .
+go test -race -count=1 -run '^TestRandomWakeInterleavingsMatchStepped$' ./internal/sim
+
 echo "==> cedarbench smoke campaign + regression diff"
 # The smoke campaign runs the full matrix once per declared jobs value
 # ([1, 8]) and fails itself if the deterministic sections differ, so a
@@ -53,6 +61,14 @@ echo "==> cedarbench smoke campaign + regression diff"
 # (loose, they drift with the toolchain) against the committed baseline.
 go run ./cmd/cedarbench run -config bench/campaigns/smoke.json -out artifacts/BENCH_smoke.json -q
 go run ./cmd/cedarbench diff bench/BENCH_smoke.json artifacts/BENCH_smoke.json -threshold 5% -alloc-threshold 30%
+
+echo "==> cedarbench latency campaign (event-wheel win) + regression diff"
+# The latency campaign is dominated by long memory waits — exactly what
+# the event wheel jumps over — so its simcycles are also the regression
+# gate on the wheel's scheduling (a missed wake changes cycle counts
+# before it changes anything else).
+go run ./cmd/cedarbench run -config bench/campaigns/latency.json -out artifacts/BENCH_latency.json -q
+go run ./cmd/cedarbench diff bench/BENCH_latency.json artifacts/BENCH_latency.json -threshold 5% -alloc-threshold 30%
 
 echo "==> fuzz smoke ($FUZZTIME per target)"
 go test -run='^$' -fuzz='^FuzzOmegaRouting$' -fuzztime="$FUZZTIME" ./internal/network
