@@ -60,21 +60,23 @@ func runCampaign(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("cedarbench run", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		config  = fs.String("config", "", "campaign config JSON (default: the built-in smoke campaign)")
-		out     = fs.String("out", "", "artifact path (default BENCH_<area>.json in the current directory)")
-		jobs    = fs.Int("jobs", 0, "override the campaign's jobs list with one worker count")
-		quiet   = fs.Bool("q", false, "suppress progress lines")
-		cpuProf = fs.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf = fs.String("memprofile", "", "write a heap profile to this file")
-		stepped = fs.Bool("stepped", false, "pin the pure per-cycle stepped engine (disable the event wheel); the deterministic section must not change — compare wall times to measure the wheel's win")
+		config   = fs.String("config", "", "campaign config JSON (default: the built-in smoke campaign)")
+		out      = fs.String("out", "", "artifact path (default BENCH_<area>.json in the current directory)")
+		jobs     = fs.Int("jobs", 0, "override the campaign's jobs list with one worker count")
+		shards   = fs.Int("shards", 0, "override the campaign's shards list with one intra-run worker bound")
+		clusters = fs.Int("clusters", 0, "simulated machine width for default-machine points (0 = as built; 16/64 = scale-up presets)")
+		quiet    = fs.Bool("q", false, "suppress progress lines")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = fs.String("memprofile", "", "write a heap profile to this file")
+		stepped  = fs.Bool("stepped", false, "pin the pure per-cycle stepped engine (disable the event wheel); the deterministic section must not change — compare wall times to measure the wheel's win")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	// Campaigns declare their own fault plans per matrix axis; Setup here
-	// only validates -jobs and clears any leftover process-wide plan so a
-	// campaign's healthy points really are healthy.
-	if _, err := cliutil.Setup(fs, *jobs, ""); err != nil {
+	// only validates the worker flags and clears any leftover process-wide
+	// plan so a campaign's healthy points really are healthy.
+	if _, err := cliutil.Setup(fs, cliutil.Flags{Jobs: *jobs, Shards: *shards, Clusters: *clusters}); err != nil {
 		lg.Print(err)
 		return 2
 	}
@@ -99,7 +101,7 @@ func runCampaign(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 	}
-	opt := bench.RunOptions{Jobs: *jobs, Now: time.Now, Progress: stderr}
+	opt := bench.RunOptions{Jobs: *jobs, Shards: *shards, Now: time.Now, Progress: stderr}
 	if *quiet {
 		opt.Progress = nil
 	}

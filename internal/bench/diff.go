@@ -144,14 +144,22 @@ func Diff(old, new *Artifact, opt DiffOptions) (*DiffReport, error) {
 		}
 	}
 
-	oldRuns := map[int]RunMeasure{}
+	// Passes pair up by their full axis position. Artifacts from before
+	// the shards axis carry 0 there, which still pairs correctly against
+	// other pre-shards artifacts.
+	type runKey struct{ jobs, shards int }
+	oldRuns := map[runKey]RunMeasure{}
 	for _, m := range old.Measured.Runs {
-		oldRuns[m.Jobs] = m
+		oldRuns[runKey{m.Jobs, m.Shards}] = m
 	}
 	for _, nm := range new.Measured.Runs {
-		om, ok := oldRuns[nm.Jobs]
+		om, ok := oldRuns[runKey{nm.Jobs, nm.Shards}]
 		if !ok {
 			continue
+		}
+		id := fmt.Sprintf("jobs=%d allocs", nm.Jobs)
+		if nm.Shards > 1 {
+			id = fmt.Sprintf("jobs=%d shards=%d allocs", nm.Jobs, nm.Shards)
 		}
 		if om.Mallocs == 0 {
 			// Same zero-baseline rule as simcycles: explicit new-vs-zero,
@@ -159,13 +167,13 @@ func Diff(old, new *Artifact, opt DiffOptions) (*DiffReport, error) {
 			// that measured none always exceed any fractional threshold.
 			if nm.Mallocs != 0 {
 				r.Regressions = append(r.Regressions, DiffLine{
-					ID: fmt.Sprintf("jobs=%d allocs", nm.Jobs), Metric: "mallocs",
+					ID: id, Metric: "mallocs",
 					Old: 0, New: int64(nm.Mallocs), ZeroBase: true})
 			}
 			continue
 		}
 		delta := (float64(nm.Mallocs) - float64(om.Mallocs)) / float64(om.Mallocs)
-		l := DiffLine{ID: fmt.Sprintf("jobs=%d allocs", nm.Jobs), Metric: "mallocs",
+		l := DiffLine{ID: id, Metric: "mallocs",
 			Old: int64(om.Mallocs), New: int64(nm.Mallocs), Delta: delta}
 		switch {
 		case delta > allocThr:

@@ -12,6 +12,8 @@
 package ce
 
 import (
+	"sync"
+
 	"cedar/internal/network"
 )
 
@@ -121,11 +123,18 @@ type Controller interface {
 // Program is a fixed instruction sequence implementing Controller.
 type Program struct {
 	Instrs []*Instr
-	pos    map[int]int
+	// mu guards the lazily built position map: CEs in different cluster
+	// shards call Next concurrently on an intra-run parallel engine. Each
+	// CE only ever touches its own entry, so the values — and therefore
+	// the simulated behavior — are schedule-independent.
+	mu  sync.Mutex
+	pos map[int]int
 }
 
 // Next implements Controller: every CE runs the same sequence privately.
 func (p *Program) Next(ceID int, cycle int64) (*Instr, Status) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.pos == nil {
 		p.pos = make(map[int]int) //lint:allow hotalloc one-time lazy initialisation per program, not per-cycle work
 	}

@@ -45,12 +45,7 @@ func gssChunk(n int, claimed int64, p int) int {
 
 // guidedLoop self-schedules iterations with guided chunks.
 func (r *Runtime) guidedLoop(ci, k int, ph XDoall) {
-	p := len(r.ces)
-	chunk := gssChunk(ph.N, r.counterShadow[k], p)
-	if chunk < 1 {
-		chunk = 1
-	}
-	r.claimN(ci, k, chunk, func(first int64) {
+	r.guidedClaim(ci, k, ph.N, func(first int64, chunk int) {
 		if first >= int64(ph.N) {
 			r.barrier(ci, k)
 			return
@@ -65,48 +60,56 @@ func (r *Runtime) guidedLoop(ci, k int, ph XDoall) {
 	})
 }
 
-// claimN performs one fetch-add claim of `chunk` iterations against the
-// phase counter, honouring the Cedar-sync configuration.
-func (r *Runtime) claimN(ci, k, chunk int, got func(first int64)) {
+// guidedClaim performs one guided claim against the phase counter: read
+// the counter to estimate remaining work, locally compute the GSS chunk,
+// then claim it with a fetch-add (the loop end clips over-claimed
+// tails). The estimate costs a real global load — every processor's view
+// of the machine-wide progress travels through the network, never
+// through simulator-side shared state, so claims behave identically on
+// the sequential and sharded engine schedules.
+func (r *Runtime) guidedClaim(ci, k, n int, got func(first int64, chunk int)) {
+	p := len(r.ces)
 	res := &r.res[k]
 	if r.cfg.UseCedarSync {
 		r.enq(ci,
 			scalarInstr(r.syncPathCycles),
 			&ce.Instr{
-				Op: ce.OpSync, Addr: res.counter,
-				Test: network.TestAlways, Mut: network.OpAdd, Value: int64(chunk),
+				Op: ce.OpGlobalLoad, Addr: res.counter,
 				OnResult: func(v int64, _ bool, _ int64) {
-					r.observeCounter(k, v+int64(chunk))
-					got(v)
+					chunk := gssChunk(n, v, p)
+					if chunk < 1 {
+						chunk = 1
+					}
+					r.enq(ci, &ce.Instr{
+						Op: ce.OpSync, Addr: res.counter,
+						Test: network.TestAlways, Mut: network.OpAdd, Value: int64(chunk),
+						OnResult: func(first int64, _ bool, _ int64) {
+							got(first, chunk)
+						},
+					})
 				},
 			})
 		return
 	}
-	// Library path: lock, read, write, unlock.
+	// Library path: the locked read-modify-write already reads the
+	// counter, so the estimate folds into it at no extra traffic.
 	r.enq(ci, scalarInstr(r.lockPathCycles))
 	r.takeLockThen(ci, func() {
 		r.enq(ci, &ce.Instr{
 			Op: ce.OpGlobalLoad, Addr: res.counter,
 			OnResult: func(v int64, _ bool, _ int64) {
+				chunk := gssChunk(n, v, p)
+				if chunk < 1 {
+					chunk = 1
+				}
 				r.enq(ci,
 					&ce.Instr{Op: ce.OpGlobalStore, Addr: res.counter, Value: v + int64(chunk)},
 					&ce.Instr{Op: ce.OpGlobalStore, Addr: r.lockAddr, Value: 0,
-						OnDone: func(int64) {
-							r.observeCounter(k, v+int64(chunk))
-							got(v)
-						}},
+						OnDone: func(int64) { got(v, chunk) }},
 				)
 			},
 		})
 	})
-}
-
-// observeCounter keeps a local shadow of each phase counter so guided
-// chunk estimates track progress without extra memory traffic.
-func (r *Runtime) observeCounter(k int, v int64) {
-	if v > r.counterShadow[k] {
-		r.counterShadow[k] = v
-	}
 }
 
 // runChunkThen executes iterations [lo, hi) sequentially, then cont.

@@ -10,6 +10,8 @@ import (
 
 	"cedar/internal/fault"
 	"cedar/internal/fleet"
+	"cedar/internal/params"
+	"cedar/internal/sim"
 )
 
 // newFS builds the flag set every command declares, pre-parsed with args.
@@ -30,6 +32,10 @@ func reset(t *testing.T) {
 	t.Cleanup(func() {
 		fault.SetDefault(nil)
 		fleet.SetJobs(0)
+		sim.SetShards(1)
+		if err := params.SetDefaultClusters(0); err != nil {
+			t.Fatal(err)
+		}
 	})
 }
 
@@ -40,7 +46,7 @@ func TestSetupJobsValidation(t *testing.T) {
 		{"-jobs=-4"},
 	} {
 		fs, jobs, faults := newFS(t, args...)
-		if _, err := Setup(fs, *jobs, *faults); err == nil {
+		if _, err := Setup(fs, Flags{Jobs: *jobs, Faults: *faults}); err == nil {
 			t.Errorf("Setup(%v): want error for non-positive explicit -jobs", args)
 		} else if !strings.Contains(err.Error(), "-jobs") {
 			t.Errorf("Setup(%v): error %q does not name the flag", args, err)
@@ -49,12 +55,12 @@ func TestSetupJobsValidation(t *testing.T) {
 
 	// Unset -jobs keeps the GOMAXPROCS default without complaint.
 	fs, jobs, faults := newFS(t)
-	if _, err := Setup(fs, *jobs, *faults); err != nil {
+	if _, err := Setup(fs, Flags{Jobs: *jobs, Faults: *faults}); err != nil {
 		t.Fatalf("Setup with defaults: %v", err)
 	}
 
 	fs, jobs, faults = newFS(t, "-jobs", "3")
-	if _, err := Setup(fs, *jobs, *faults); err != nil {
+	if _, err := Setup(fs, Flags{Jobs: *jobs, Faults: *faults}); err != nil {
 		t.Fatalf("Setup(-jobs 3): %v", err)
 	}
 	if got := fleet.Jobs(); got != 3 {
@@ -66,7 +72,7 @@ func TestSetupFaultPlans(t *testing.T) {
 	reset(t)
 
 	fs, jobs, faults := newFS(t, "-faults", "demo")
-	plan, err := Setup(fs, *jobs, *faults)
+	plan, err := Setup(fs, Flags{Jobs: *jobs, Faults: *faults})
 	if err != nil {
 		t.Fatalf("Setup(-faults demo): %v", err)
 	}
@@ -82,7 +88,7 @@ func TestSetupFaultPlans(t *testing.T) {
 		t.Fatal(err)
 	}
 	fs, jobs, faults = newFS(t, "-faults", good)
-	plan, err = Setup(fs, *jobs, *faults)
+	plan, err = Setup(fs, Flags{Jobs: *jobs, Faults: *faults})
 	if err != nil {
 		t.Fatalf("Setup(-faults %s): %v", good, err)
 	}
@@ -92,7 +98,7 @@ func TestSetupFaultPlans(t *testing.T) {
 
 	// No -faults clears a previously installed plan.
 	fs, jobs, faults = newFS(t)
-	if _, err := Setup(fs, *jobs, *faults); err != nil {
+	if _, err := Setup(fs, Flags{Jobs: *jobs, Faults: *faults}); err != nil {
 		t.Fatal(err)
 	}
 	if fault.Default() != nil {
@@ -111,8 +117,61 @@ func TestSetupFaultErrors(t *testing.T) {
 		bad,
 	} {
 		fs, jobs, faults := newFS(t, "-faults", path)
-		if _, err := Setup(fs, *jobs, *faults); err == nil {
+		if _, err := Setup(fs, Flags{Jobs: *jobs, Faults: *faults}); err == nil {
 			t.Errorf("Setup(-faults %s): want error", path)
 		}
+	}
+}
+
+func TestSetupShardsAndClusters(t *testing.T) {
+	reset(t)
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	shards := fs.Int("shards", 0, "")
+	clusters := fs.Int("clusters", 0, "")
+	if err := fs.Parse([]string{"-shards", "4", "-clusters", "16"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Setup(fs, Flags{Shards: *shards, Clusters: *clusters}); err != nil {
+		t.Fatal(err)
+	}
+	if got := sim.Shards(); got != 4 {
+		t.Errorf("sim.Shards() = %d, want 4", got)
+	}
+	if got := params.Default().Clusters; got != 16 {
+		t.Errorf("Default().Clusters = %d, want 16", got)
+	}
+
+	// Explicit non-positive -shards is rejected like -jobs.
+	fs = flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	shards = fs.Int("shards", 0, "")
+	if err := fs.Parse([]string{"-shards", "0"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Setup(fs, Flags{Shards: *shards}); err == nil {
+		t.Error("Setup(-shards 0): want error")
+	} else if !strings.Contains(err.Error(), "-shards") {
+		t.Errorf("error %q does not name the flag", err)
+	}
+
+	// An invalid width is rejected by params validation.
+	if _, err := Setup(flag.NewFlagSet("t", flag.ContinueOnError), Flags{Clusters: -2}); err == nil {
+		t.Error("Setup(-clusters -2): want error")
+	}
+}
+
+func TestNewMetaHostFields(t *testing.T) {
+	reset(t)
+	sim.SetShards(3)
+	m := NewMeta("test", nil)
+	if m.Shards != 3 {
+		t.Errorf("Meta.Shards = %d, want 3", m.Shards)
+	}
+	if m.GoMaxProcs < 1 || m.NumCPU < 1 {
+		t.Errorf("host fields unset: %+v", m)
+	}
+	if m.Schema != MetaSchema {
+		t.Errorf("Schema = %d, want %d", m.Schema, MetaSchema)
 	}
 }

@@ -1,24 +1,35 @@
 package cliutil
 
 import (
+	"runtime"
+
 	"cedar/internal/fault"
 	"cedar/internal/fleet"
+	"cedar/internal/sim"
 )
 
 // MetaSchema versions the run-metadata header format.
-const MetaSchema = 1
+const MetaSchema = 2
 
 // Meta is the self-describing run-metadata header embedded in JSON
 // artifacts (cedarsim -json; cedarbench carries the same facts in its
 // own header): enough to tell, from the artifact alone, which tool
-// produced it under which fault plan and worker configuration. Jobs is
-// the only field that may differ between byte-compared runs — consumers
-// comparing artifacts across -jobs values must compare the payload, not
-// the header.
+// produced it under which fault plan and worker configuration. The
+// host-parallelism fields — Jobs, Shards, GoMaxProcs, NumCPU — may
+// differ between byte-compared runs without the payload differing;
+// consumers comparing artifacts across worker configurations must
+// compare the payload, not the header.
 type Meta struct {
 	Schema int    `json:"schema"`
 	Tool   string `json:"tool"`
 	Jobs   int    `json:"jobs"`
+	// Shards is the intra-run parallel engine's worker bound (1 = the
+	// sequential schedule); GoMaxProcs and NumCPU record how much host
+	// parallelism was actually available, so a committed artifact's
+	// measured throughput can be read in context.
+	Shards     int `json:"shards"`
+	GoMaxProcs int `json:"gomaxprocs"`
+	NumCPU     int `json:"num_cpu"`
 	// FaultSeed and FaultPlan identify the process-wide fault plan
 	// (absent when healthy); FaultPlan is the plan's short content hash.
 	FaultSeed uint64 `json:"fault_seed,omitempty"`
@@ -28,7 +39,14 @@ type Meta struct {
 // NewMeta builds the header for tool under the given plan (nil for a
 // healthy run).
 func NewMeta(tool string, plan *fault.Plan) Meta {
-	m := Meta{Schema: MetaSchema, Tool: tool, Jobs: fleet.Jobs()}
+	m := Meta{
+		Schema:     MetaSchema,
+		Tool:       tool,
+		Jobs:       fleet.Jobs(),
+		Shards:     sim.Shards(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
 	if plan != nil {
 		m.FaultSeed = plan.Seed
 		m.FaultPlan = plan.Hash()

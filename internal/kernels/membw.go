@@ -2,6 +2,7 @@ package kernels
 
 import (
 	"fmt"
+	"sync"
 
 	"cedar/internal/ce"
 	"cedar/internal/core"
@@ -72,12 +73,18 @@ func MemBW(m *core.Machine, nCE int, stride int64, wordsPerCE int) (MemBWPoint, 
 // perCEProgram hands each CE its own fixed instruction sequence.
 type perCEProgram struct {
 	instrs func(ceID int) []*ce.Instr
-	seqs   map[int][]*ce.Instr
-	pos    map[int]int
+	// mu guards the lazily built maps: CEs in different cluster shards
+	// call Next concurrently on an intra-run parallel engine, and each
+	// only touches its own entries.
+	mu   sync.Mutex
+	seqs map[int][]*ce.Instr
+	pos  map[int]int
 }
 
 // Next implements ce.Controller.
 func (p *perCEProgram) Next(ceID int, cycle int64) (*ce.Instr, ce.Status) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.pos == nil {
 		p.pos = make(map[int]int)
 		p.seqs = make(map[int][]*ce.Instr)

@@ -1,0 +1,17 @@
+package shardsafe_test
+
+import (
+	"testing"
+
+	"cedar/internal/lint"
+	"cedar/internal/lint/linttest"
+	"cedar/internal/lint/shardsafe"
+)
+
+func TestShardSafe(t *testing.T) {
+	suite := &lint.Suite{Module: []*lint.ModuleAnalyzer{shardsafe.New(shardsafe.Config{
+		ShardPkgs: []string{"shard"},
+		Roots:     []string{"Tick"},
+	})}}
+	linttest.RunModule(t, suite, "testdata/mod")
+}

@@ -1,0 +1,3 @@
+module shardmod
+
+go 1.22

@@ -1,0 +1,61 @@
+// Package shard is the golden shard package: Engine.Tick is the phase-A
+// root, and everything it reaches must keep its writes inside its own
+// object graph.
+package shard
+
+// trace and seq are the shared state the golden functions write.
+var trace []int
+var seq int
+
+// counters is a pointer-shaped global: writing through it is just as
+// shared as writing it.
+var counters = &Engine{}
+
+// Ticker is dispatched through an interface from Tick.
+type Ticker interface{ Sub(cycle int64) }
+
+// Engine is the root device.
+type Engine struct {
+	local int
+	dev   Ticker
+}
+
+// Tick is the phase-A root.
+func (e *Engine) Tick(cycle int64) {
+	e.local = int(cycle) // receiver write: clean
+	n := 0
+	n++ // local write: clean
+	_ = n
+	seq++                          // want `write to package-level shard\.seq`
+	trace = append(trace, e.local) // want `write to package-level shard\.trace`
+	counters.local = 1             // want `write to package-level shard\.counters`
+	e.reached(cycle)
+	e.dev.Sub(cycle)
+	waived()
+}
+
+// reached is phase-A code by reachability from Tick.
+func (e *Engine) reached(cycle int64) {
+	seq = int(cycle) // want `write to package-level shard\.seq`
+}
+
+// idle lives in a shard package, but nothing per-cycle reaches it, so
+// its global write is the hub's business, not this check's.
+func idle() {
+	seq = 0
+}
+
+// waived shows a justified global write surviving via a directive.
+func waived() {
+	seq = -1 //lint:allow shardsafe drained by the hub before the next phase A
+}
+
+// Device implements Ticker; the interface dispatch from Tick makes its
+// Sub method phase-A code.
+type Device struct{ buf int }
+
+// Sub runs once per cycle via the Ticker interface.
+func (d *Device) Sub(cycle int64) {
+	d.buf = int(cycle) // receiver write: clean
+	seq = d.buf        // want `write to package-level shard\.seq`
+}

@@ -7,7 +7,10 @@
 // cycle equals the paper's 11.8 MFLOPS per CE.
 package params
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // CycleNS is the CE instruction cycle time in nanoseconds.
 const CycleNS = 170.0
@@ -87,10 +90,47 @@ type Machine struct {
 	BarrierClusterCy int // intra-cluster barrier via CC bus
 }
 
-// Default returns the Cedar machine as built: four 8-CE clusters, a 64-port
-// two-stage omega network of 8×8 crossbars, and 32 interleaved global
-// memory modules.
+// defaultClusters holds the process-wide cluster-count override set by
+// the -clusters CLI flag (0 or 4 = the as-built Cedar). Atomic for the
+// same reason sim.SetShards is: tests and fleet workers read it
+// concurrently.
+var defaultClusters atomic.Int64
+
+// SetDefaultClusters installs a process-wide cluster count consulted by
+// Default: 0 or 4 selects the as-built Cedar, any other valid count the
+// corresponding Scaled configuration (16 and 64 are the named presets).
+// CLI commands call this from the -clusters flag so every experiment in
+// the invocation runs on the wider machine; the fleet cache keys runs by
+// the full parameter set, so cached artifacts never cross widths.
+func SetDefaultClusters(n int) error {
+	if n < 0 {
+		return fmt.Errorf("params: clusters must be ≥ 1, got %d", n)
+	}
+	if n > 0 {
+		if err := Scaled(n).Validate(); err != nil {
+			return err
+		}
+	}
+	defaultClusters.Store(int64(n))
+	return nil
+}
+
+// DefaultClusters reports the installed override (0 = as built).
+func DefaultClusters() int { return int(defaultClusters.Load()) }
+
+// Default returns the Cedar machine the process is configured for: as
+// built — four 8-CE clusters, a 64-port two-stage omega network of 8×8
+// crossbars, and 32 interleaved global memory modules — unless
+// SetDefaultClusters installed a wider scale-up.
 func Default() Machine {
+	if n := DefaultClusters(); n > 0 && n != asBuilt().Clusters {
+		return Scaled(n)
+	}
+	return asBuilt()
+}
+
+// asBuilt is the published 1993 configuration.
+func asBuilt() Machine {
 	return Machine{
 		Clusters:      4,
 		CEsPerCluster: 8,
@@ -139,14 +179,29 @@ func Default() Machine {
 
 // Scaled returns a Cedar-like machine scaled to the given cluster count,
 // growing the network and memory system proportionally (the PPT5 probe).
+// It always starts from the published base, never from an installed
+// SetDefaultClusters override, so Scaled(n) means the same machine in
+// every process.
 func Scaled(clusters int) Machine {
-	m := Default()
+	m := asBuilt()
 	m.Clusters = clusters
 	ces := clusters * m.CEsPerCluster
 	m.NetPorts = nextPowerOf(m.NetRadix, ces)
 	m.MemModules = ces
 	return m
 }
+
+// Cedar16 is the 16-cluster scale-up preset: 128 CEs behind a 512-port
+// three-stage omega (the fabric widens with cluster count: one more
+// rank of 8×8 crossbars than the as-built two-stage network) and 128
+// interleaved memory modules.
+func Cedar16() Machine { return Scaled(16) }
+
+// Cedar64 is the 64-cluster scale-up preset: 512 CEs, a 512-port
+// three-stage omega running at full port occupancy, and 512 memory
+// modules — the largest configuration whose network the 8×8 switch
+// family reaches in three stages.
+func Cedar64() Machine { return Scaled(64) }
 
 // CEs returns the total number of computational elements.
 func (m Machine) CEs() int { return m.Clusters * m.CEsPerCluster }

@@ -176,3 +176,58 @@ func TestPaperConstants(t *testing.T) {
 		t.Error("memory capacities must be expressed in 8-byte machine words")
 	}
 }
+
+func TestClusterPresets(t *testing.T) {
+	for _, tc := range []struct {
+		name            string
+		m               Machine
+		clusters, ports int
+	}{
+		{"Cedar16", Cedar16(), 16, 512},
+		{"Cedar64", Cedar64(), 64, 512},
+	} {
+		if err := tc.m.Validate(); err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+		}
+		if tc.m.Clusters != tc.clusters {
+			t.Errorf("%s: Clusters = %d, want %d", tc.name, tc.m.Clusters, tc.clusters)
+		}
+		// The omega widens with cluster count: the as-built 64-port
+		// two-stage fabric grows a third stage for both presets.
+		if tc.m.NetPorts != tc.ports {
+			t.Errorf("%s: NetPorts = %d, want %d", tc.name, tc.m.NetPorts, tc.ports)
+		}
+		if tc.m.NetPorts < tc.m.CEs() || tc.m.NetPorts < tc.m.MemModules {
+			t.Errorf("%s: network narrower than the machine: %d ports, %d CEs, %d modules",
+				tc.name, tc.m.NetPorts, tc.m.CEs(), tc.m.MemModules)
+		}
+	}
+}
+
+func TestSetDefaultClusters(t *testing.T) {
+	defer func() {
+		if err := SetDefaultClusters(0); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if err := SetDefaultClusters(16); err != nil {
+		t.Fatal(err)
+	}
+	if got := Default(); got.Clusters != 16 || got != Cedar16() {
+		t.Errorf("Default under -clusters 16 = %+v, want Cedar16", got)
+	}
+	// Scaled must ignore the override: it always starts from the
+	// published base.
+	if got := Scaled(2); got.Clusters != 2 || got.NetPorts != 64 {
+		t.Errorf("Scaled(2) under override = %+v", got)
+	}
+	if err := SetDefaultClusters(-1); err == nil {
+		t.Error("SetDefaultClusters(-1) accepted")
+	}
+	if err := SetDefaultClusters(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := Default(); got != asBuilt() {
+		t.Errorf("Default after reset = %+v", got)
+	}
+}

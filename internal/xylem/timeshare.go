@@ -1,6 +1,8 @@
 package xylem
 
 import (
+	"sync"
+
 	"cedar/internal/ce"
 	"cedar/internal/params"
 )
@@ -17,7 +19,14 @@ import (
 // barrier- and loop-scheduling-heavy programs suffer far more than their
 // share of the machine, because a task's barrier can spin while its
 // partner CEs run a different task.
+//
+// Rotation decisions read machine-wide completion flags, so the result
+// is only defined for the sequential engine schedule: run time-sharing
+// studies with -shards 1. The mutex below keeps a sharded run safe (no
+// data races), but its rotations then depend on cross-cluster tick
+// interleaving and are not byte-comparable across shard counts.
 type TimeSharer struct {
+	mu      sync.Mutex
 	p       params.Machine
 	quantum int64
 	sw      int64 // context switch cost in cycles
@@ -82,6 +91,8 @@ func (t *TimeSharer) taskDone(task int) bool {
 
 // Next implements ce.Controller.
 func (t *TimeSharer) Next(ceID int, cycle int64) (*ce.Instr, ce.Status) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	cl := &t.cluster[ceID/t.p.CEsPerCluster]
 	inCluster := ceID % t.p.CEsPerCluster
 
@@ -153,6 +164,7 @@ func (t *TimeSharer) nextLiveTask(cur int) int {
 type FixedWork struct {
 	instrs int
 	cycles int64
+	mu     sync.Mutex
 	pos    map[int]int
 }
 
@@ -163,6 +175,8 @@ func NewFixedWork(instrs int, cycles int64) *FixedWork {
 
 // Next implements ce.Controller.
 func (f *FixedWork) Next(ceID int, cycle int64) (*ce.Instr, ce.Status) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if f.pos[ceID] >= f.instrs {
 		return nil, ce.Finished
 	}
