@@ -120,6 +120,34 @@ func (ms MachineSpec) fabricKind() (core.FabricKind, error) {
 	return core.FabricOmega, fmt.Errorf("bench: machine %q: unknown fabric %q (want omega or crossbar)", ms.Name, ms.Fabric)
 }
 
+// Validate checks the machine spec in isolation — what cedarserve runs
+// on a submitted config before building anything.
+func (ms MachineSpec) Validate() error {
+	_, err := ms.fabricKind()
+	return err
+}
+
+// Validate checks the workload spec in isolation: a known kind, a known
+// rank variant, non-negative sizes.
+func (ws WorkloadSpec) Validate() error {
+	if !workloadKinds[ws.Kind] {
+		return fmt.Errorf("bench: workload %q: unknown kind %q (want one of %s)",
+			ws.Name, ws.Kind, strings.Join(kindList(), ", "))
+	}
+	if ws.Kind == "rank" {
+		switch ws.Variant {
+		case "", "nopref", "pref", "cache":
+		default:
+			return fmt.Errorf("bench: workload %q: unknown rank variant %q (want nopref, pref or cache)", ws.Name, ws.Variant)
+		}
+	}
+	if ws.N < 0 || ws.Sweeps < 0 || ws.Iters < 0 || ws.BW < 0 || ws.MaxCEs < 0 ||
+		ws.CEs < 0 || ws.Stride < 0 || ws.Gap < 0 {
+		return fmt.Errorf("bench: workload %q: sizes must be non-negative", ws.Name)
+	}
+	return nil
+}
+
 // WorkloadSpec is one workload axis entry: a paper kernel plus its
 // sizing. Kind selects the kernel; the other fields parameterize it and
 // unused ones must stay zero.
@@ -241,7 +269,7 @@ func (c *Campaign) Validate() error {
 		if err := check("machine", m.Name, seen); err != nil {
 			return err
 		}
-		if _, err := m.fabricKind(); err != nil {
+		if err := m.Validate(); err != nil {
 			return err
 		}
 	}
@@ -250,20 +278,8 @@ func (c *Campaign) Validate() error {
 		if err := check("workload", w.Name, seen); err != nil {
 			return err
 		}
-		if !workloadKinds[w.Kind] {
-			return fmt.Errorf("bench: workload %q: unknown kind %q (want one of %s)",
-				w.Name, w.Kind, strings.Join(kindList(), ", "))
-		}
-		if w.Kind == "rank" {
-			switch w.Variant {
-			case "", "nopref", "pref", "cache":
-			default:
-				return fmt.Errorf("bench: workload %q: unknown rank variant %q (want nopref, pref or cache)", w.Name, w.Variant)
-			}
-		}
-		if w.N < 0 || w.Sweeps < 0 || w.Iters < 0 || w.BW < 0 || w.MaxCEs < 0 ||
-			w.CEs < 0 || w.Stride < 0 || w.Gap < 0 {
-			return fmt.Errorf("bench: workload %q: sizes must be non-negative", w.Name)
+		if err := w.Validate(); err != nil {
+			return err
 		}
 	}
 	seen = map[string]bool{}

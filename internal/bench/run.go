@@ -232,6 +232,32 @@ func Run(c *Campaign, opt RunOptions) (*Artifact, error) {
 	return art, nil
 }
 
+// RunSpec executes one (machine × workload × fault plan) point on a
+// freshly built machine with a private hub — cedarserve's entry into the
+// bench vocabulary. metrics filters the scope snapshot captured into the
+// outcome (nil selects DefaultMetrics); plan nil runs healthy, ignoring
+// any process-wide default. A run that degrades under its plan returns
+// Status "degraded" with partial timing and a nil error, exactly like a
+// campaign point.
+func RunSpec(ms MachineSpec, ws WorkloadSpec, plan *fault.Plan, metrics []string) (Outcome, error) {
+	fabric, err := ms.fabricKind()
+	if err != nil {
+		return Outcome{}, err
+	}
+	if err := ws.Validate(); err != nil {
+		return Outcome{}, err
+	}
+	if len(metrics) == 0 {
+		metrics = DefaultMetrics
+	}
+	pt := point{
+		id:      ms.Name + "/" + ws.Name,
+		machine: ms.Name, workload: ws.Name,
+		pm: ms.Params(), fabric: fabric, w: ws, plan: plan,
+	}
+	return runPoint(pt, metrics, nil)
+}
+
 // runPoint simulates one matrix cell on a freshly built machine with a
 // private hub, returning the identity-free outcome the cache stores.
 func runPoint(pt point, metrics []string, now func() time.Time) (Outcome, error) {

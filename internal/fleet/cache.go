@@ -3,6 +3,7 @@ package fleet
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -14,11 +15,41 @@ import (
 // present a key computes the value while concurrent presenters of the same
 // key wait for it, and later presenters reuse it outright. Simulations are
 // deterministic, so a cached outcome is indistinguishable from a re-run.
+//
+// An optional SecondLevel (SetStore) turns the cache into the first tier
+// of a two-level lookup: in-process map, then durable byte store, then
+// compute. Only []byte values round-trip through the second level.
 type Cache struct {
-	mu    sync.Mutex
-	m     map[string]*entry
-	stats CacheStats
+	mu     sync.Mutex
+	m      map[string]*entry
+	second SecondLevel
+	stats  CacheStats
 }
+
+// SecondLevel is a durable byte store behind the in-process cache —
+// internal/store's Store implements it. On a first presentation of a key
+// the cache consults Get before computing, and writes a freshly computed
+// []byte value through with Put. Values of any other type bypass the
+// second level entirely (the store is byte-addressed; cedarserve's
+// response bodies are the intended tenants). Put must not retain the
+// slice past the call: it aliases the cached value.
+type SecondLevel interface {
+	Get(key string) ([]byte, bool)
+	Put(key string, blob []byte)
+}
+
+// SetStore attaches (or, with nil, detaches) the cache's second level.
+// Attach before the first lookup: entries already cached in memory are
+// not written back.
+func (c *Cache) SetStore(s SecondLevel) {
+	c.mu.Lock()
+	c.second = s
+	c.mu.Unlock()
+}
+
+// errComputePanicked poisons a single-flight entry whose computation
+// panicked, so coalesced waiters fail fast instead of waiting forever.
+var errComputePanicked = errors.New("fleet: cached computation panicked")
 
 type entry struct {
 	done chan struct{}
@@ -42,6 +73,10 @@ type CacheStats struct {
 	Misses    int64 // first presentations, each computed exactly once
 	Hits      int64 // served from a finished entry
 	Coalesced int64 // waited on an in-flight computation of the same key
+	// DiskHits counts the subset of Misses answered by the second-level
+	// store without computing (Misses - DiskHits presentations actually
+	// ran the job). Always zero when no store is attached.
+	DiskHits int64
 }
 
 // Served returns the lookups answered without a fresh computation.
@@ -76,6 +111,7 @@ func (c *Cache) Publish(h *scope.Hub) {
 	h.Counter("fleet.cache.misses", func() int64 { return c.Stats().Misses })
 	h.Counter("fleet.cache.hits", func() int64 { return c.Stats().Hits })
 	h.Counter("fleet.cache.coalesced", func() int64 { return c.Stats().Coalesced })
+	h.Counter("fleet.cache.diskhits", func() int64 { return c.Stats().DiskHits })
 	h.Gauge("fleet.cache.entries", func() int64 { return int64(c.Len()) })
 }
 
@@ -99,8 +135,22 @@ func ResetCache() { shared.Clear() }
 
 // do returns the cached value for key, computing it via compute on first
 // presentation. Concurrent callers of the same key block until the first
-// computation finishes (single flight). Errors are cached too: the
-// simulator is deterministic, so a failing configuration fails again.
+// computation finishes (single flight). When a second level is attached,
+// a first presentation consults it before computing, and a computed
+// []byte value is written through.
+//
+// Error-caching contract: errors are cached exactly like values, for the
+// life of the entry. The simulator is deterministic, so a failing
+// configuration fails identically on every retry and recomputing would
+// only re-pay the failure. That includes degraded-run errors
+// (fault.ErrDegraded with partial results): the entry is pinned to its
+// key, and a later healthy run of the same inputs can never be served it
+// because the process-wide fault-plan fingerprint is mixed into every
+// Key — the healthy run presents a different key. The only uncached
+// outcome is a panic: the entry is poisoned with an error for any
+// coalesced waiters (so they fail instead of hanging), dropped from the
+// map (so the key stays retryable), and the panic unwinds through to the
+// computing caller.
 func (c *Cache) do(key string, compute func() (any, error)) (any, error) {
 	c.mu.Lock()
 	c.stats.Lookups++
@@ -117,8 +167,43 @@ func (c *Cache) do(key string, compute func() (any, error)) (any, error) {
 	c.stats.Misses++
 	e := &entry{done: make(chan struct{})}
 	c.m[key] = e
+	second := c.second
 	c.mu.Unlock()
+
+	if second != nil {
+		if blob, ok := second.Get(key); ok {
+			e.val = blob
+			c.mu.Lock()
+			c.stats.DiskHits++
+			e.complete = true
+			c.mu.Unlock()
+			close(e.done)
+			return e.val, nil
+		}
+	}
+
+	finished := false
+	defer func() {
+		if finished {
+			return
+		}
+		// compute panicked and the panic is unwinding through this frame:
+		// poison the entry for coalesced waiters, drop the key, and let
+		// the panic continue to the caller.
+		c.mu.Lock()
+		delete(c.m, key)
+		e.complete = true
+		c.mu.Unlock()
+		e.err = errComputePanicked
+		close(e.done)
+	}()
 	e.val, e.err = compute()
+	finished = true
+	if e.err == nil && second != nil {
+		if blob, ok := e.val.([]byte); ok {
+			second.Put(key, blob)
+		}
+	}
 	c.mu.Lock()
 	e.complete = true
 	c.mu.Unlock()

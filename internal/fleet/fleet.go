@@ -86,6 +86,13 @@ func Jobs() int {
 // children are adopted back in submission order after all jobs finish, so
 // artifacts are byte-identical to the sequential run. On failure the
 // error of the earliest-submitted failing job is returned.
+//
+// Panics if a Job.Run panics: worker goroutines capture component panics
+// (mirroring the sim shardRunner) and the first recorded one is rethrown
+// on the caller's goroutine after the pool drains, so a panicking job
+// poisons the Run call — where the caller can recover — and never kills
+// the process from a goroutine nobody owns. The remaining jobs still run
+// to completion before the rethrow.
 func Run[T any](cfg Config, jobs []Job[T]) ([]T, error) {
 	if len(jobs) == 0 {
 		return nil, nil
@@ -115,6 +122,7 @@ func Run[T any](cfg Config, jobs []Job[T]) ([]T, error) {
 
 	hubs := make([]*scope.Hub, len(jobs))
 	errs := make([]error, len(jobs))
+	var rec recovered
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -127,12 +135,17 @@ func Run[T any](cfg Config, jobs []Job[T]) ([]T, error) {
 				if i >= len(jobs) {
 					return
 				}
-				hubs[i] = cfg.Hub.Fork()
-				results[i], errs[i] = runOne(jobs[i], hubs[i], cache)
+				runGuarded(&rec, jobs[i], cfg.Hub, cache, hubs, results, errs, i)
 			}
 		}()
 	}
 	wg.Wait()
+	if p := rec.first(); p != nil {
+		// Resurface the original panic where the caller can see (and
+		// recover from) it. Hubs are not adopted: a panicked pass has no
+		// coherent artifact to merge.
+		panic(p)
+	}
 	for _, h := range hubs {
 		cfg.Hub.Adopt(h)
 	}
@@ -143,6 +156,46 @@ func Run[T any](cfg Config, jobs []Job[T]) ([]T, error) {
 	}
 	return results, nil
 }
+
+// runGuarded executes one pool job with panic capture: a panicking
+// Job.Run is recorded in rec for Run to rethrow on the caller's
+// goroutine, and the worker moves on to the next job.
+func runGuarded[T any](rec *recovered, j Job[T], parent *scope.Hub, cache *Cache,
+	hubs []*scope.Hub, results []T, errs []error, i int) {
+	defer rec.capture()
+	hubs[i] = parent.Fork()
+	results[i], errs[i] = runOne(j, hubs[i], cache)
+}
+
+// recovered holds the first panic captured by the worker pool, for the
+// caller's goroutine to rethrow — the same idiom as sim's shardRunner.
+type recovered struct {
+	mu sync.Mutex
+	p  any
+}
+
+// capture is runGuarded's deferred recovery: it records the first
+// worker panic for Run to rethrow.
+func (r *recovered) capture() {
+	if p := recover(); p != nil {
+		r.mu.Lock()
+		if r.p == nil {
+			r.p = p
+		}
+		r.mu.Unlock()
+	}
+}
+
+func (r *recovered) first() any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.p
+}
+
+// cacheCopy is the deep-copy hook runOne uses on every cached return. A
+// package variable only so the copy-failure fallback (recompute, never
+// alias) stays testable; production code always runs deepCopy.
+var cacheCopy = deepCopy
 
 // runOne executes one job, through the cache when it is unobserved and
 // keyed.
@@ -157,13 +210,15 @@ func runOne[T any](j Job[T], hub *scope.Hub, cache *Cache) (T, error) {
 			// Every caller — including the one that just computed the
 			// value — gets a deep copy, so mutating a returned result
 			// can never corrupt the cached original or a sibling hit.
-			if cp, ok := deepCopy(tv).(T); ok {
+			if cp, ok := cacheCopy(tv).(T); ok {
 				return cp, nil
 			}
-			return tv, nil
+			// The copy machinery could not reproduce T. Fall through and
+			// recompute: handing out the cached value itself would alias
+			// cache internals to a caller that is free to mutate them.
 		}
-		// A key collision across result types is a caller bug; recompute
-		// rather than return a foreign value.
+		// A key collision across result types (or an uncopyable value) is
+		// recomputed rather than served a foreign or shared reference.
 	}
 	return j.Run(hub)
 }

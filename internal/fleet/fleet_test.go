@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -364,4 +365,298 @@ func TestCachePublish(t *testing.T) {
 	}
 	// Publish of the shared cache must be nil-hub safe.
 	PublishMetrics(nil)
+}
+
+// TestWorkerPanicRethrownOnCaller is the pool-crash regression: a
+// panicking Job.Run must not kill the process from a worker goroutine.
+// The panic is captured in the pool and rethrown on Run's caller — where
+// a recover works — after the remaining jobs finish.
+func TestWorkerPanicRethrownOnCaller(t *testing.T) {
+	var ran atomic.Int64
+	jobs := make([]Job[int], 8)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{Run: func(*scope.Hub) (int, error) {
+			if i == 3 {
+				panic("job 3 exploded")
+			}
+			ran.Add(1)
+			return i, nil
+		}}
+	}
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("panicking job did not rethrow on the caller's goroutine")
+		}
+		if s, ok := p.(string); !ok || s != "job 3 exploded" {
+			t.Fatalf("rethrown panic = %v, want the original value", p)
+		}
+		if n := ran.Load(); n != 7 {
+			t.Errorf("%d healthy jobs ran, want 7 (pool must drain before rethrowing)", n)
+		}
+	}()
+	_, _ = Run(Config{Jobs: 4, Cache: NewCache()}, jobs)
+	t.Fatal("Run returned normally despite a panicking job")
+}
+
+// TestPanickedComputePoisonsCoalescedWaiters: a panic inside a cached
+// computation must not leave coalesced presenters of the same key
+// blocked on a done channel that never closes. They get an error, the
+// key stays retryable, and the panic still surfaces on the computing
+// caller.
+func TestPanickedComputePoisonsCoalescedWaiters(t *testing.T) {
+	cache := NewCache()
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	computerDone := make(chan any, 1)
+	go func() {
+		defer func() { computerDone <- recover() }()
+		_, _ = Run(Config{Jobs: 1, Cache: cache}, []Job[int]{{
+			Key: "poisoned",
+			Run: func(*scope.Hub) (int, error) {
+				close(started)
+				<-release
+				panic("compute exploded")
+			},
+		}})
+	}()
+	<-started
+
+	waiterErr := make(chan error, 1)
+	go func() {
+		_, err := Run(Config{Jobs: 1, Cache: cache}, []Job[int]{{
+			Key: "poisoned",
+			Run: func(*scope.Hub) (int, error) { return 1, nil },
+		}})
+		waiterErr <- err
+	}()
+	// The waiter has coalesced once the stats say so; only then let the
+	// computation blow up.
+	for cache.Stats().Coalesced == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+
+	if p := <-computerDone; p == nil {
+		t.Error("computing caller did not observe the panic")
+	}
+	err := <-waiterErr
+	if !errors.Is(err, errComputePanicked) {
+		t.Fatalf("coalesced waiter got %v, want errComputePanicked", err)
+	}
+	// The poisoned key was dropped, so a later presentation recomputes.
+	got, err := Run(Config{Jobs: 1, Cache: cache}, []Job[int]{{
+		Key: "poisoned",
+		Run: func(*scope.Hub) (int, error) { return 42, nil },
+	}})
+	if err != nil || got[0] != 42 {
+		t.Fatalf("retry after panic = %v, %v; want 42, nil (key must stay retryable)", got, err)
+	}
+}
+
+// TestCopyFailureRecomputesNeverAliases is the runOne fallback
+// regression: when the deep copy cannot reproduce the cached value's
+// type, the job is recomputed — the old code handed out the cached
+// original itself, aliasing cache internals to a caller free to mutate
+// them.
+func TestCopyFailureRecomputesNeverAliases(t *testing.T) {
+	orig := cacheCopy
+	cacheCopy = func(any) any { return nil } // every copy "fails"
+	defer func() { cacheCopy = orig }()
+
+	var computes atomic.Int64
+	cache := NewCache()
+	job := Job[*rowResult]{
+		Key: "uncopyable",
+		Run: func(*scope.Hub) (*rowResult, error) {
+			computes.Add(1)
+			return &rowResult{Rows: []float64{1}}, nil
+		},
+	}
+	first, err := Run(Config{Jobs: 1, Cache: cache}, []Job[*rowResult]{job})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first[0].Rows[0] = -1 // would corrupt the cached original if aliased
+	second, err := Run(Config{Jobs: 1, Cache: cache}, []Job[*rowResult]{job})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second[0] == first[0] || &second[0].Rows[0] == &first[0].Rows[0] {
+		t.Fatal("copy-failure fallback handed out an aliased reference")
+	}
+	if second[0].Rows[0] != 1 {
+		t.Fatalf("second caller saw the first caller's mutation: %v", second[0].Rows)
+	}
+	if n := computes.Load(); n < 2 {
+		t.Fatalf("computes = %d, want ≥ 2 (fallback must recompute, not alias)", n)
+	}
+}
+
+// TestErrorsCachedForever pins the do() error-caching contract: a failing
+// configuration fails again from cache — deterministically — for the life
+// of the entry.
+func TestErrorsCachedForever(t *testing.T) {
+	cache := NewCache()
+	sentinel := errors.New("config rejected")
+	var computes atomic.Int64
+	bad := Job[int]{Key: "bad-config", Run: func(*scope.Hub) (int, error) {
+		computes.Add(1)
+		return 0, sentinel
+	}}
+	good := Job[int]{Key: "bad-config", Run: func(*scope.Hub) (int, error) {
+		computes.Add(1)
+		return 1, nil
+	}}
+	if _, err := Run(Config{Jobs: 1, Cache: cache}, []Job[int]{bad}); !errors.Is(err, sentinel) {
+		t.Fatalf("first run err = %v", err)
+	}
+	// Same key, would-be-healthy compute: the cached error is served.
+	if _, err := Run(Config{Jobs: 1, Cache: cache}, []Job[int]{good}); !errors.Is(err, sentinel) {
+		t.Fatalf("second run err = %v, want the cached %v", err, sentinel)
+	}
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("computes = %d, want 1 (errors cache like values)", n)
+	}
+}
+
+// TestHealthyAfterFaultedNotServedDegraded: a degraded-run error cached
+// while a fault plan was installed must never be served to a healthy run
+// of the same inputs. The protection is structural — Key mixes the
+// process-wide plan fingerprint in — so the healthy run presents a
+// different key and simulates fresh.
+func TestHealthyAfterFaultedNotServedDegraded(t *testing.T) {
+	t.Cleanup(func() { fault.SetDefault(nil) })
+	cache := NewCache()
+	var computes atomic.Int64
+	point := func() Job[string] {
+		// Key is built at submission time, exactly like the tables
+		// runners do, so it sees the plan installed *now*.
+		return Job[string]{Key: Key("exp", "rank", 48), Run: func(*scope.Hub) (string, error) {
+			computes.Add(1)
+			if fault.Default() != nil {
+				return "partial", fault.ErrDegraded
+			}
+			return "complete", nil
+		}}
+	}
+
+	fault.SetDefault(fault.DemoPlan())
+	if _, err := Run(Config{Jobs: 1, Cache: cache}, []Job[string]{point()}); !errors.Is(err, fault.ErrDegraded) {
+		t.Fatalf("faulted run err = %v, want ErrDegraded", err)
+	}
+	// Same inputs, plan cleared: must simulate fresh and succeed, never
+	// see the cached degraded entry.
+	fault.SetDefault(nil)
+	got, err := Run(Config{Jobs: 1, Cache: cache}, []Job[string]{point()})
+	if err != nil {
+		t.Fatalf("healthy run was served the degraded entry: %v", err)
+	}
+	if got[0] != "complete" || computes.Load() != 2 {
+		t.Fatalf("healthy run got %q after %d computes, want fresh \"complete\" after 2", got[0], computes.Load())
+	}
+	// Re-installing the same plan reuses the degraded entry (errors are
+	// cached forever under their key).
+	fault.SetDefault(fault.DemoPlan())
+	if _, err := Run(Config{Jobs: 1, Cache: cache}, []Job[string]{point()}); !errors.Is(err, fault.ErrDegraded) {
+		t.Fatalf("re-faulted run err = %v, want the cached ErrDegraded", err)
+	}
+	if n := computes.Load(); n != 2 {
+		t.Fatalf("computes = %d, want 2 (degraded entry reused under its own key)", n)
+	}
+}
+
+// fakeStore is an in-memory SecondLevel for two-level lookup tests.
+type fakeStore struct {
+	mu   sync.Mutex
+	m    map[string][]byte
+	puts int
+	gets int
+}
+
+func newFakeStore() *fakeStore { return &fakeStore{m: map[string][]byte{}} }
+
+func (f *fakeStore) Get(key string) ([]byte, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.gets++
+	b, ok := f.m[key]
+	return b, ok
+}
+
+func (f *fakeStore) Put(key string, blob []byte) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.puts++
+	f.m[key] = append([]byte(nil), blob...)
+}
+
+// TestSecondLevelStore: the two-level lookup contract. A computed []byte
+// value is written through to the store; a fresh cache (a "restarted
+// process") sharing the store answers the same key from disk without
+// computing, and counts it as a DiskHit.
+func TestSecondLevelStore(t *testing.T) {
+	disk := newFakeStore()
+	var computes atomic.Int64
+	job := Job[[]byte]{Key: "blob-point", Run: func(*scope.Hub) ([]byte, error) {
+		computes.Add(1)
+		return []byte(`{"simcycles":12345}`), nil
+	}}
+
+	warm := NewCache()
+	warm.SetStore(disk)
+	first, err := Run(Config{Jobs: 1, Cache: warm}, []Job[[]byte]{job})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if disk.puts != 1 {
+		t.Fatalf("store saw %d puts, want 1 (write-through on compute)", disk.puts)
+	}
+
+	cold := NewCache() // fresh process: empty memory, same disk
+	cold.SetStore(disk)
+	second, err := Run(Config{Jobs: 1, Cache: cold}, []Job[[]byte]{job})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("computes = %d, want 1 (cold cache must answer from the store)", n)
+	}
+	if !bytes.Equal(first[0], second[0]) {
+		t.Fatalf("disk-served value differs from computed:\n%s\n%s", first[0], second[0])
+	}
+	st := cold.Stats()
+	if st.Misses != 1 || st.DiskHits != 1 {
+		t.Fatalf("cold stats %+v, want 1 miss answered by 1 disk hit", st)
+	}
+	// A disk-served value is deep-copied per caller like any other hit.
+	second[0][0] = 'X'
+	third, err := Run(Config{Jobs: 1, Cache: cold}, []Job[[]byte]{job})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third[0][0] == 'X' {
+		t.Fatal("disk-backed cache entry was aliased to a previous caller")
+	}
+}
+
+// TestSecondLevelBypassedForNonBytes: values that are not []byte never
+// reach the store — it is byte-addressed.
+func TestSecondLevelBypassedForNonBytes(t *testing.T) {
+	disk := newFakeStore()
+	cache := NewCache()
+	cache.SetStore(disk)
+	if _, err := Run(Config{Jobs: 1, Cache: cache}, []Job[int]{
+		{Key: "int-point", Run: func(*scope.Hub) (int, error) { return 7, nil }},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if disk.puts != 0 {
+		t.Fatalf("store saw %d puts for a non-byte value, want 0", disk.puts)
+	}
+	if st := cache.Stats(); st.DiskHits != 0 {
+		t.Fatalf("DiskHits = %d, want 0", st.DiskHits)
+	}
 }

@@ -37,9 +37,9 @@ type Config struct {
 //	 6  core xylem       (whole-machine assembly, workload gen)
 //	 7  cfrt             (kernel runtime over core)
 //	 8  kernels perfect  (paper workloads + cross-validation)
-//	 9  fleet            (experiment orchestration)
+//	 9  fleet store      (experiment orchestration, durable result store)
 //	10  tables cliutil bench  (paper tables, CLI plumbing, perf campaigns)
-//	11  cedar (module root facade)
+//	11  cedar serve      (module root facade, experiment-serving daemon core)
 //	12  cmd/* examples/* (binaries and examples)
 var DefaultConfig = Config{
 	Layers: map[string]int{
@@ -64,10 +64,12 @@ var DefaultConfig = Config{
 		"internal/kernels":    8,
 		"internal/perfect":    8,
 		"internal/fleet":      9,
+		"internal/store":      9,
 		"internal/tables":     10,
 		"internal/cliutil":    10,
 		"internal/bench":      10,
 		"":                    11,
+		"internal/serve":      11,
 	},
 	Prefixes: map[string]int{
 		"internal/lint": 0,

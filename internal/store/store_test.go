@@ -1,0 +1,254 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func mustOpen(t *testing.T, dir string, max int64) *Store {
+	t.Helper()
+	s, err := Open(dir, max)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestRoundTripDeterminism is the serving-correctness gate's disk half:
+// a blob must come back byte-identical — through the live store and
+// through a reopen (a daemon restart).
+func TestRoundTripDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, 0)
+	blob := []byte(`{"schema":1,"outcome":{"simcycles":123456,"mflops":9.25}}`)
+	s.Put("serve:aabbcc", blob)
+	got, ok := s.Get("serve:aabbcc")
+	if !ok || !bytes.Equal(got, blob) {
+		t.Fatalf("live round trip: ok=%v got=%q", ok, got)
+	}
+
+	re := mustOpen(t, dir, 0)
+	got, ok = re.Get("serve:aabbcc")
+	if !ok || !bytes.Equal(got, blob) {
+		t.Fatalf("reopen round trip: ok=%v got=%q", ok, got)
+	}
+	if st := re.Stats(); st.Hits != 1 {
+		t.Errorf("reopened store stats %+v, want 1 hit", st)
+	}
+}
+
+func TestMissUnknownKey(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), 0)
+	if _, ok := s.Get("serve:nothere"); ok {
+		t.Fatal("unknown key reported a hit")
+	}
+	if st := s.Stats(); st.Gets != 1 || st.Misses != 1 {
+		t.Errorf("stats %+v, want 1 get, 1 miss", st)
+	}
+}
+
+// TestLRUEviction: the budget evicts least-recently-used entries, and a
+// Get refreshes recency.
+func TestLRUEviction(t *testing.T) {
+	blob := bytes.Repeat([]byte("x"), 100)
+	s := mustOpen(t, t.TempDir(), 250) // fits two 100-byte blobs, not three
+	s.Put("k:a", blob)
+	s.Put("k:b", blob)
+	if _, ok := s.Get("k:a"); !ok { // a is now more recent than b
+		t.Fatal("k:a missing before eviction")
+	}
+	s.Put("k:c", blob)
+	if _, ok := s.Get("k:b"); ok {
+		t.Error("k:b survived eviction despite being least recently used")
+	}
+	for _, k := range []string{"k:a", "k:c"} {
+		if _, ok := s.Get(k); !ok {
+			t.Errorf("%s was evicted, want it kept", k)
+		}
+	}
+	st := s.Stats()
+	if st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+	if s.Bytes() > 250 {
+		t.Errorf("store holds %d bytes, budget 250", s.Bytes())
+	}
+}
+
+// TestOversizeRejected: a blob that cannot fit the whole budget is not
+// stored (storing then instantly evicting it would churn the disk).
+func TestOversizeRejected(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), 10)
+	s.Put("k:big", bytes.Repeat([]byte("y"), 11))
+	if s.Len() != 0 {
+		t.Fatal("oversize blob was stored")
+	}
+	if st := s.Stats(); st.Rejected != 1 {
+		t.Errorf("stats %+v, want 1 rejected", st)
+	}
+}
+
+// TestCorruptBlobReadsAsMiss: a blob that fails checksum verification is
+// dropped and reported as a miss — the two-level cache re-simulates, and
+// the daemon never serves (or crashes on) corrupt bytes.
+func TestCorruptBlobReadsAsMiss(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, 0)
+	s.Put("k:v", []byte("pristine-result-bytes"))
+
+	// Flip bytes behind the store's back, keeping the size identical so
+	// only the checksum can catch it.
+	name := fileNameFor("k:v")
+	if err := os.WriteFile(filepath.Join(dir, blobDir, name), []byte("corrupted-result-byte"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("k:v"); ok {
+		t.Fatal("corrupt blob served as a hit")
+	}
+	if st := s.Stats(); st.Corrupt != 1 {
+		t.Errorf("stats %+v, want 1 corrupt", st)
+	}
+	if s.Len() != 0 {
+		t.Error("corrupt entry not dropped")
+	}
+	// And the drop is durable: a reopen does not resurrect it.
+	if _, ok := mustOpen(t, dir, 0).Get("k:v"); ok {
+		t.Error("corrupt entry resurrected by reopen")
+	}
+}
+
+// TestOpenSweepsCrashDebris: tmp files and unreferenced blobs vanish at
+// Open; index entries whose blob is missing or mis-sized are dropped.
+func TestOpenSweepsCrashDebris(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, 0)
+	s.Put("k:kept", []byte("kept"))
+	s.Put("k:truncated", []byte("will-be-truncated"))
+
+	// Simulate a crash: a half-written tmp file, an orphan blob no index
+	// entry references, and a blob truncated out from under its entry.
+	if err := os.WriteFile(filepath.Join(dir, "tmp-12345"), []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, blobDir, "feedfacefeedface"), []byte("orphan"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, blobDir, fileNameFor("k:truncated")), []byte("short"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re := mustOpen(t, dir, 0)
+	if got, ok := re.Get("k:kept"); !ok || string(got) != "kept" {
+		t.Fatalf("healthy entry lost in sweep: ok=%v got=%q", ok, got)
+	}
+	if _, ok := re.Get("k:truncated"); ok {
+		t.Error("mis-sized entry survived the sweep")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "tmp-12345")); !os.IsNotExist(err) {
+		t.Error("tmp file not swept")
+	}
+	if _, err := os.Stat(filepath.Join(dir, blobDir, "feedfacefeedface")); !os.IsNotExist(err) {
+		t.Error("orphan blob not swept")
+	}
+}
+
+// TestCorruptIndexRefusesToOpen: a mangled index is external interference
+// (index writes are rename-atomic), so Open reports it instead of
+// silently discarding the store.
+func TestCorruptIndexRefusesToOpen(t *testing.T) {
+	dir := t.TempDir()
+	mustOpen(t, dir, 0).Put("k:v", []byte("v"))
+	if err := os.WriteFile(filepath.Join(dir, indexFile), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, 0); err == nil {
+		t.Fatal("Open accepted a corrupt index")
+	}
+}
+
+func TestNegativeBudgetRejected(t *testing.T) {
+	if _, err := Open(t.TempDir(), -1); err == nil {
+		t.Fatal("Open accepted a negative budget")
+	}
+}
+
+// TestShrunkenBudgetEvictsAtOpen: reopening with a smaller budget trims
+// the store immediately.
+func TestShrunkenBudgetEvictsAtOpen(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, 0)
+	for i := 0; i < 4; i++ {
+		s.Put(fmt.Sprintf("k:%d", i), bytes.Repeat([]byte("z"), 100))
+	}
+	re := mustOpen(t, dir, 150)
+	if re.Bytes() > 150 || re.Len() != 1 {
+		t.Fatalf("reopened store holds %d bytes in %d entries, want ≤150 in 1", re.Bytes(), re.Len())
+	}
+}
+
+// TestRePutRefreshesRecency: an identical re-Put must not rewrite the
+// blob, but must protect the entry from the next eviction.
+func TestRePutRefreshesRecency(t *testing.T) {
+	blob := bytes.Repeat([]byte("w"), 100)
+	s := mustOpen(t, t.TempDir(), 250)
+	s.Put("k:a", blob)
+	s.Put("k:b", blob)
+	s.Put("k:a", blob) // refresh a
+	s.Put("k:c", blob) // evicts b, not a
+	if _, ok := s.Get("k:a"); !ok {
+		t.Error("refreshed entry was evicted")
+	}
+	if _, ok := s.Get("k:b"); ok {
+		t.Error("stale entry survived")
+	}
+}
+
+// TestReplaceUnderSameKey: a new blob under an existing key replaces the
+// old bytes and the accounting follows.
+func TestReplaceUnderSameKey(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), 0)
+	s.Put("k:v", []byte("old"))
+	s.Put("k:v", []byte("brand-new-longer"))
+	got, ok := s.Get("k:v")
+	if !ok || string(got) != "brand-new-longer" {
+		t.Fatalf("got %q, %v", got, ok)
+	}
+	if s.Bytes() != int64(len("brand-new-longer")) || s.Len() != 1 {
+		t.Fatalf("accounting: %d bytes in %d entries", s.Bytes(), s.Len())
+	}
+}
+
+// TestIndexDeterministic: two stores with the same contents write
+// byte-identical indexes modulo recency stamps — entries are sorted by
+// key, so the file is diffable and the determinism story extends to the
+// store's own artifacts.
+func TestIndexDeterministic(t *testing.T) {
+	write := func() []byte {
+		dir := t.TempDir()
+		s := mustOpen(t, dir, 0)
+		s.Put("k:b", []byte("bb"))
+		s.Put("k:a", []byte("aa"))
+		b, err := os.ReadFile(filepath.Join(dir, indexFile))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	if !bytes.Equal(write(), write()) {
+		t.Fatal("index bytes differ across identical stores")
+	}
+}
+
+// TestFileNameMatchesKeyHash pins the blob naming scheme the sweep and
+// corrupt-blob tests rely on.
+func TestFileNameMatchesKeyHash(t *testing.T) {
+	sum := sha256.Sum256([]byte("k:v"))
+	if fileNameFor("k:v") != hex.EncodeToString(sum[:]) {
+		t.Fatal("blob file name is not the key hash")
+	}
+}

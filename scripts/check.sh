@@ -64,6 +64,19 @@ go test -race -count=1 -run '^(TestShardsVsSequentialEquality|TestShardsVsSequen
 go test -race -count=1 -run '^(TestShardedMachineMatchesSequential|TestAttributionConservationParallel)$' ./internal/core
 go test -race -count=1 -run '^(TestShardedMatchesFlat|TestSleepingShardDoesNotBlockJump)$' ./internal/sim
 
+echo "==> cedarserve cached-vs-fresh response equality (-race)"
+# The serving daemon's cache must be invisible: a response served from
+# the in-process cache, from a coalesced in-flight computation, or from
+# the durable on-disk store across a daemon restart must be
+# byte-identical to the freshly simulated one — with the race detector
+# watching the real concurrent submissions. The store's own half of the
+# contract is its durable round trip. Plus the fleet-pool crash-safety
+# regressions: a panicking job surfaces on the caller, never a stray
+# goroutine, and a failed cache copy recomputes instead of aliasing.
+go test -race -count=1 -run '^(TestCacheHitByteEquality|TestCoalescedRequestsShareOneSimulation|TestPanicBecomes500)$' ./internal/serve
+go test -race -count=1 -run '^TestRoundTripDeterminism$' ./internal/store
+go test -race -count=1 -run '^(TestWorkerPanicRethrownOnCaller|TestCopyFailureRecomputesNeverAliases|TestHealthyAfterFaultedNotServedDegraded)$' ./internal/fleet
+
 echo "==> cedarbench smoke campaign + regression diff"
 # The smoke campaign runs the full matrix once per declared jobs value
 # ([1, 8]) and fails itself if the deterministic sections differ, so a
@@ -95,4 +108,4 @@ go test -run='^$' -fuzz='^FuzzOmegaRouting$' -fuzztime="$FUZZTIME" ./internal/ne
 go test -run='^$' -fuzz='^FuzzInstability$' -fuzztime="$FUZZTIME" ./internal/ppt
 go test -run='^$' -fuzz='^FuzzBands$' -fuzztime="$FUZZTIME" ./internal/ppt
 
-echo "OK: build, vet, cedarvet, race tests, shard equality, bench campaigns and fuzz smoke all green"
+echo "OK: build, vet, cedarvet, race tests, shard equality, serve equality, bench campaigns and fuzz smoke all green"
